@@ -1,0 +1,83 @@
+"""ANA-RING / ANA-FC / ANA-BUS: analytic densities vs simulation.
+
+The paper derives closed-form ``f_i`` for ring, fully-connected, and bus
+networks (section 4.2). These benches time the closed forms at the
+paper's 101-site scale and verify them against the simulator's
+stationary estimate (ring; the strongest full-pipeline check) and
+against static Monte-Carlo sampling (complete graph and bus).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.analytic.bus import bus_density
+from repro.analytic.complete import complete_density
+from repro.analytic.montecarlo import montecarlo_density
+from repro.analytic.ring import ring_density
+from repro.experiments.paper import PAPER_RELIABILITY
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import bus, fully_connected, ring
+
+P = R = PAPER_RELIABILITY
+
+
+def test_ana_ring_vs_simulation(benchmark, report, scale):
+    n = 31  # large enough to partition, small enough to simulate tightly
+    cfg = SimulationConfig.paper_like(
+        ring(n),
+        alpha=0.5,
+        warmup_accesses=500.0,
+        accesses_per_batch=min(scale.accesses_per_batch * 4, 120_000.0),
+        n_batches=2,
+        seed=77,
+    )
+    result = once(benchmark, lambda: run_simulation(cfg, MajorityConsensusProtocol(n)))
+    simulated = result.density_matrix("time").mean(axis=0)
+    analytic = ring_density(n, P, R)
+    gap = float(np.abs(simulated - analytic).max())
+    report(
+        "=== ANA-RING: ring closed form vs simulator stationary density ===\n"
+        f"n = {n}, p = r = {P}\n"
+        f"max |simulated - analytic| over v: {gap:.4f}\n"
+        f"analytic f(0) = {analytic[0]:.4f}, simulated f(0) = {simulated[0]:.4f}"
+    )
+    assert gap < 0.03
+
+
+def test_ana_complete_vs_montecarlo(benchmark, report):
+    n = 101
+    analytic = once(benchmark, lambda: complete_density(n, P, R))
+    mc = montecarlo_density(fully_connected(n), 0, P, R, n_samples=3_000, seed=8)
+    gap = float(np.abs(analytic - mc).max())
+    report(
+        "=== ANA-FC: Gilbert-recursion closed form vs Monte-Carlo ===\n"
+        f"n = {n}: max density gap {gap:.4f}; "
+        f"analytic mass at v >= 90: {analytic[90:].sum():.4f}"
+    )
+    assert gap < 0.05
+    # At p = r = .96 a complete 101-site network is essentially always one
+    # big component holding every up site (~Binomial(100, .96) + 1 votes):
+    # conditional on the submitting site being up, mass concentrates high.
+    assert analytic[90:].sum() > 0.93
+
+
+def test_ana_bus_vs_montecarlo(benchmark, report):
+    n = 25
+    analytic = once(benchmark, lambda: bus_density(n, P, R, sites_need_bus=False))
+    topo = bus(n)  # hub carries the bus's reliability; spokes perfect
+    site_rel = np.full(n + 1, P)
+    site_rel[n] = R
+    mc = montecarlo_density(topo, 0, site_rel, 1.0, n_samples=20_000, seed=9)
+    gap = float(np.abs(analytic - mc).max())
+    report(
+        "=== ANA-BUS: bus closed form vs Monte-Carlo (star encoding) ===\n"
+        f"n = {n}: max density gap {gap:.4f}"
+    )
+    assert gap < 0.02

@@ -1,0 +1,67 @@
+"""ABL-VAR: sampled-access vs time-weighted (expected-value) estimators.
+
+DESIGN.md's variance-reduction claim, quantified: at a fixed simulated-
+time budget, the expected-value estimator integrates the exact
+conditional grant probability per epoch and should show materially lower
+batch-to-batch variance than literal access sampling, with the same mean.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate_batch
+from repro.topology.generators import ring_with_chords
+
+N = 31
+N_REPLICATES = 12
+
+
+def test_estimator_variance(benchmark, report, scale):
+    topo = ring_with_chords(N, 2)
+    base = SimulationConfig.paper_like(
+        topo,
+        alpha=0.5,
+        warmup_accesses=200.0,
+        accesses_per_batch=4_000.0,
+        n_batches=1,
+        seed=3,
+    )
+
+    def replicate(accounting):
+        cfg = base.with_accounting(accounting)
+        return np.asarray(
+            [
+                simulate_batch(cfg, MajorityConsensusProtocol(N), batch_index=k).availability
+                for k in range(N_REPLICATES)
+            ]
+        )
+
+    def run_both():
+        return replicate("sampled"), replicate("expected")
+
+    sampled, expected = once(benchmark, run_both)
+
+    report(
+        "=== ABL-VAR: availability estimator variance at fixed budget ===\n"
+        f"replicates = {N_REPLICATES}, accesses/replicate = 4000\n"
+        f"sampled : mean {sampled.mean():.4f}  std {sampled.std(ddof=1):.5f}\n"
+        f"expected: mean {expected.mean():.4f}  std {expected.std(ddof=1):.5f}\n"
+        f"variance ratio (sampled/expected): "
+        f"{(sampled.var(ddof=1) / expected.var(ddof=1)):.2f}x"
+    )
+
+    # Same estimand: means agree within the replicate noise.
+    pooled_sem = np.sqrt(
+        sampled.var(ddof=1) / N_REPLICATES + expected.var(ddof=1) / N_REPLICATES
+    )
+    assert abs(sampled.mean() - expected.mean()) < 4 * pooled_sem + 1e-3
+    # Expected-value accounting removes the access-sampling noise term, so
+    # its variance cannot exceed the sampled estimator's (up to noise).
+    assert expected.var(ddof=1) <= sampled.var(ddof=1) * 1.2

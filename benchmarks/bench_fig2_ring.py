@@ -1,0 +1,25 @@
+"""FIG2: availability vs read quorum on Topology 0 (the 101-site ring).
+
+Paper claims reproduced here: on the sparsest topology the majority
+assignment is the *worst* choice for every positive read fraction, and
+the optimum sits at the left edge (small read quorums).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from figure_common import run_figure
+
+
+def test_fig2_ring(benchmark, report, scale):
+    fig = run_figure(benchmark, report, scale, chords=0, figure_name="Figure 2 (topology 0)")
+    # Ring: read-heavy curves peak at/near q_r = 1, never at majority.
+    for alpha in (0.5, 0.75, 1.0):
+        series = fig.curve(alpha)
+        assert series.argmax_quorum <= 3
+        assert series.availability[0] > series.availability[-1]
+    # Majority is the worst choice on the read-heavy curves (5.5).
+    top = fig.curve(1.0).availability
+    assert top[-1] <= top.min() + 1e-9

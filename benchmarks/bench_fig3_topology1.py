@@ -1,0 +1,20 @@
+"""FIG3: availability vs read quorum on Topology 1 (ring + 1 chord).
+
+One chord halves the effective partition sizes but the network is still
+essentially a ring: read-heavy optima stay at the left edge.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from figure_common import run_figure
+
+
+def test_fig3_topology1(benchmark, report, scale):
+    fig = run_figure(benchmark, report, scale, chords=1, figure_name="Figure 3 (topology 1)")
+    for alpha in (0.75, 1.0):
+        assert fig.curve(alpha).argmax_quorum <= 3
+    # The pure-write curve must peak at the majority edge.
+    assert fig.curve(0.0).argmax_quorum == fig.model.max_read_quorum

@@ -1,0 +1,30 @@
+"""FIG4: availability vs read quorum on Topology 2 (ring + 2 chords).
+
+This is the figure the paper's section 5.4 worked example reads numbers
+from: at ``alpha = 0.75`` the unconstrained optimum is ~72 % at
+``q_r = 1`` (where writes almost never succeed). The write-constraint
+bench (bench_write_constraint.py) continues the example.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from figure_common import run_figure
+
+
+def test_fig4_topology2(benchmark, report, scale):
+    fig = run_figure(benchmark, report, scale, chords=2, figure_name="Figure 4 (topology 2)")
+    series = fig.curve(0.75)
+    # Paper: "the optimal availability is 72% and is achieved when q_r=1".
+    # (Monte-Carlo noise can tip the near-tie between q_r = 1 and q_r = 2,
+    # so we pin the left-edge value and optimum region, not the exact argmax.)
+    assert series.argmax_quorum <= 3
+    assert float(series.availability[0]) == pytest.approx(0.72, abs=0.02)
+    assert series.max_value == pytest.approx(0.72, abs=0.03)
+    # ... and the induced write availability there is negligible.
+    alpha0 = fig.curve(0.0)
+    assert alpha0.availability[0] < 0.05

@@ -1,0 +1,18 @@
+"""FIG5: availability vs read quorum on Topology 4 (ring + 4 chords)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from figure_common import run_figure
+
+
+def test_fig5_topology4(benchmark, report, scale):
+    fig = run_figure(benchmark, report, scale, chords=4, figure_name="Figure 5 (topology 4)")
+    # Still sparse: the fully-read curve keeps its maximum at q_r = 1 ...
+    assert fig.curve(1.0).argmax_quorum == 1
+    # ... while the pure-write curve peaks at majority.
+    assert fig.curve(0.0).argmax_quorum == fig.model.max_read_quorum
+    # Four chords materially raise majority-side availability over the ring.
+    assert fig.curve(0.0).max_value > 0.15

@@ -1,0 +1,71 @@
+"""ABL-OPT: optimizer strategies — agreement and cost.
+
+Section 4.1 suggests golden-section search and Brent's method as cheaper
+alternatives to exhaustive search. On the paper's own evidence the
+optimum is almost always at an endpoint, so the interesting questions
+are (a) do the cheap methods ever lose availability, and (b) what do
+they cost in availability-function evaluations — the right unit when
+every evaluation rides on a fresh on-line density snapshot.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.analytic.complete import complete_density
+from repro.analytic.ring import ring_density
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+
+CASES = [
+    ("ring-101", ring_density(101, 0.96, 0.96)),
+    ("ring-1001", ring_density(1001, 0.96, 0.96)),
+    ("complete-101", complete_density(101, 0.96, 0.96)),
+    ("ring-101-flaky", ring_density(101, 0.9, 0.7)),
+]
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+METHODS = ("exhaustive", "endpoints", "golden", "brent")
+
+
+def test_optimizer_ablation(benchmark, report):
+    def sweep():
+        table = {}
+        for name, density in CASES:
+            model = AvailabilityModel(density, density)
+            for method in METHODS:
+                evals = 0
+                loss = 0.0
+                t0 = time.perf_counter()
+                for alpha in ALPHAS:
+                    res = optimal_read_quorum(model, alpha, method=method)
+                    evals += res.evaluations
+                    if method != "exhaustive":
+                        ref = optimal_read_quorum(model, alpha, method="exhaustive")
+                        loss = max(loss, ref.availability - res.availability)
+                elapsed = time.perf_counter() - t0
+                table[(name, method)] = (evals, loss, elapsed)
+        return table
+
+    table = once(benchmark, sweep)
+
+    lines = ["=== ABL-OPT: optimizer agreement and cost ===",
+             "  case              method       evals   max availability loss     time"]
+    for (name, method), (evals, loss, elapsed) in table.items():
+        lines.append(
+            f"  {name:<16s}  {method:<10s}  {evals:6d}   {loss:21.6f}  {elapsed*1e3:6.1f}ms"
+        )
+    report("\n".join(lines))
+
+    for (name, method), (evals, loss, _) in table.items():
+        if method in ("golden", "brent"):
+            # Cheap methods must not lose measurable availability on these
+            # paper-shaped (unimodal) densities.
+            assert loss < 1e-9, (name, method, loss)
+        if method == "golden" and "1001" in name:
+            exhaustive_evals = table[(name, "exhaustive")][0]
+            assert evals < exhaustive_evals / 5

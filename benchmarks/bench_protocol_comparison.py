@@ -1,0 +1,88 @@
+"""PROTO-COMP: every replica-control protocol on one failure history.
+
+A cross-cutting comparison the paper's related-work section gestures at:
+static majority consensus, read-one/write-all, primary copy, dynamic
+voting (Jajodia-Mutchler), and the Figure-1 optimal static assignment —
+all evaluated on the *same* simulated failure sequences (per-seed paired
+runs), reporting ACC and SURV(write) per protocol.
+
+Expected orderings asserted:
+
+- at alpha = 1, ROWA's ACC equals the site reliability and beats all
+  write-constrained protocols;
+- dynamic voting's SURV(write) dominates static majority's (its whole
+  point: the distinguished component survives cascading partitions);
+- primary copy's ACC is bounded by the primary's reliability.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.analytic.ring import ring_density
+from repro.protocols.dynamic_voting import DynamicVotingProtocol
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.protocols.primary_copy import PrimaryCopyProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.read_one_write_all import ReadOneWriteAllProtocol
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import ring_with_chords
+
+N = 101
+CHORDS = 2
+ALPHA = 0.5
+
+
+def test_protocol_comparison(benchmark, report, scale):
+    cfg = scale.config(CHORDS, alpha=ALPHA, seed=777)
+    T = cfg.topology.total_votes
+
+    f = ring_density(N, 0.96, 0.96)  # ring model as the off-line prior
+    oracle = optimal_read_quorum(AvailabilityModel(f, f), ALPHA)
+
+    protocols = {
+        "majority": lambda: MajorityConsensusProtocol(T),
+        "rowa": lambda: ReadOneWriteAllProtocol(T),
+        "primary-copy": lambda: PrimaryCopyProtocol(0),
+        "dynamic-voting": lambda: DynamicVotingProtocol(N),
+        f"optimal-static{oracle.assignment}": lambda: QuorumConsensusProtocol(
+            oracle.assignment
+        ),
+    }
+
+    def run_all():
+        rows = {}
+        for name, factory in protocols.items():
+            result = run_simulation(cfg, factory())
+            rows[name] = (
+                result.availability.mean,
+                result.read_availability.mean,
+                result.write_availability.mean,
+                result.surv_write.mean,
+            )
+        return rows
+
+    rows = once(benchmark, run_all)
+
+    lines = [
+        f"=== PROTO-COMP: protocols on topology {CHORDS}, alpha = {ALPHA} ===",
+        "  protocol                            ACC    R-avail  W-avail  SURV(w)",
+    ]
+    for name, (acc, r, w, surv) in rows.items():
+        lines.append(f"  {name:<34s} {acc:6.4f}  {r:7.4f}  {w:7.4f}  {surv:7.4f}")
+    report("\n".join(lines))
+
+    # Dynamic voting keeps a writable component alive far more of the
+    # time than static majority on this sparse topology.
+    assert rows["dynamic-voting"][3] > rows["majority"][3] + 0.1
+    # Primary copy ACC can never exceed the primary's own reliability.
+    assert rows["primary-copy"][0] <= 0.96 + 0.02
+    # ROWA read availability is the site reliability.
+    assert abs(rows["rowa"][1] - 0.96) < 0.02
+    # The optimal static assignment beats plain majority on ACC.
+    optimal_name = next(k for k in rows if k.startswith("optimal-static"))
+    assert rows[optimal_name][0] >= rows["majority"][0] - 0.01

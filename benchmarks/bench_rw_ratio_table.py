@@ -1,0 +1,58 @@
+"""TAB-RW: the section 5.5 read-write-ratio analysis.
+
+Regenerates the optimum-location grid over all seven paper topologies
+and the five read fractions, printing which cells are majority-optimal,
+ROWA-optimal, or interior, and where majority is outright worst.
+
+Paper claims asserted:
+
+- about half the (topology, alpha) cells have their maximum at the
+  majority edge — low read rates and dense topologies;
+- majority is frequently the *worst* choice — sparse topologies at high
+  read rates;
+- every pure-write row (alpha = 0) is majority-optimal.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.experiments.figures import figure_data
+from repro.experiments.paper import PAPER_ALPHAS, PAPER_CHORD_COUNTS
+from repro.experiments.report import render_rw_table
+from repro.experiments.tables import read_write_ratio_table
+
+#: 4949 is covered by the fig7 addendum; its simulation dominates runtime.
+CHORDS = tuple(c for c in PAPER_CHORD_COUNTS if c != 4949)
+
+
+def test_rw_ratio_table(benchmark, report, scale):
+    models = []
+    for chords in CHORDS:
+        fig = figure_data(chords=chords, scale=scale, seed=1000 + chords)
+        models.append((fig.topology_name, fig.model))
+
+    rows = once(benchmark, lambda: read_write_ratio_table(models, PAPER_ALPHAS))
+    report("=== section 5.5 read-write-ratio table ===\n" + render_rw_table(rows))
+
+    majority_cells = [r for r in rows if r.optimum_is_majority]
+    worst_cells = [r for r in rows if r.majority_is_worst]
+    # "one-half of the curves have maximum at q_r = floor(T/2)" — allow a
+    # generous band since chord placement and noise shift the boundary.
+    frac = len(majority_cells) / len(rows)
+    assert 0.3 <= frac <= 0.8, frac
+    # Majority is worst somewhere (the paper: "frequently").
+    assert len(worst_cells) >= 3
+    # Every pure-write row is majority-optimal.
+    for row in rows:
+        if row.alpha == 0.0:
+            assert row.optimum_is_majority, row
+    # Dense topology at low alpha: majority-optimal.
+    dense = {r.alpha: r for r in rows if "256" in r.topology_name}
+    assert dense[0.25].optimum_is_majority
+    # Sparse topology at alpha = 1: ROWA-optimal and majority worst.
+    ring_rows = {r.alpha: r for r in rows if r.topology_name.startswith("topology-0")}
+    assert ring_rows[1.0].optimum_is_rowa
+    assert ring_rows[1.0].majority_is_worst

@@ -1,0 +1,64 @@
+"""ABL-VOTES: vote-assignment optimization on heterogeneous networks.
+
+The paper evaluates uniform votes on symmetric topologies and defers
+vote optimization to Cheung-Ahamad-Ammar. This extension bench runs our
+hill-climbing vote optimizer on an asymmetric scenario — a chorded ring
+where a third of the sites are flaky — and reports the availability of
+(uniform votes, optimal quorums) vs (optimized votes, optimal quorums),
+both scored on an independent held-out state sample so the comparison is
+not biased by optimizing and evaluating on the same draws.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import once
+from repro.quorum.vote_optimizer import _StateSample, availability_of_votes, optimize_votes
+
+N = 12
+ALPHA = 0.5
+GOOD_P, BAD_P = 0.95, 0.55
+R = 0.95
+
+
+def test_vote_optimization(benchmark, report, scale):
+    from repro.topology.generators import ring_with_chords
+
+    topo = ring_with_chords(N, 2)
+    p = np.full(N, GOOD_P)
+    p[::3] = BAD_P  # every third site is flaky
+
+    search = once(
+        benchmark,
+        lambda: optimize_votes(topo, alpha=ALPHA, p=p, r=R,
+                               n_samples=2_000, seed=42),
+    )
+
+    # Held-out evaluation sample (different seed than the search used).
+    holdout = _StateSample(topo, p, R, n_samples=6_000, seed=4242)
+    uniform_votes = np.ones(N, dtype=np.int64)
+    optimized_votes = np.asarray(search.votes, dtype=np.int64)
+    uniform_value, uniform_quorum = availability_of_votes(holdout, uniform_votes, ALPHA)
+    optimized_value, optimized_quorum = availability_of_votes(
+        holdout, optimized_votes, ALPHA
+    )
+
+    report(
+        "=== ABL-VOTES: vote optimization on a heterogeneous 12-site network ===\n"
+        f"site reliabilities : {p.tolist()}\n"
+        f"uniform votes      : A = {uniform_value:.4f} at {uniform_quorum.assignment} (held-out)\n"
+        f"optimized votes    : A = {optimized_value:.4f} at {optimized_quorum.assignment} (held-out)\n"
+        f"vote vector        : {list(search.votes)}\n"
+        f"candidates scored  : {search.candidates_evaluated}"
+    )
+
+    # On held-out states the optimized vector must not lose to uniform
+    # (allow a small MC tolerance), and typically wins outright.
+    assert optimized_value >= uniform_value - 0.01
+    # Flaky sites should not carry more votes than reliable ones.
+    votes = optimized_votes
+    assert votes[p == BAD_P].mean() <= votes[p == GOOD_P].mean() + 1e-9

@@ -1,0 +1,77 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run with ``-s`` to see
+them; they are also appended to ``benchmarks/results.txt``). Timings are
+collected by pytest-benchmark with a single round — these are
+simulation-scale workloads, not microbenchmarks.
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``bench`` (default): 101-site networks, 10 000 accesses x 2 batches —
+  the whole suite finishes in a few minutes;
+- ``small``: 30 000 accesses x 4 batches;
+- ``paper``: the paper's full 100 000 + 1 000 000 x 5 configuration
+  (hours, as on the original DEC Station 5000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.paper import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    ExperimentScale,
+)
+
+#: Default benchmark scale: full-size networks, laptop-size access volume.
+#: Starts each batch from the exact stationary network state, so the short
+#: warm-up carries no transient bias (the paper instead burns 100 000
+#: accesses from an all-up reset; see simulation/processes.py).
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    n_sites=101,
+    warmup_accesses=500.0,
+    accesses_per_batch=12_000.0,
+    n_batches=2,
+    initial_state="stationary",
+)
+
+_SCALES = {"bench": BENCH_SCALE, "small": SMALL_SCALE, "paper": PAPER_SCALE}
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a block and persist it to benchmarks/results.txt."""
+    handle = RESULTS_PATH.open("a")
+
+    def emit(text: str) -> None:
+        print()
+        print(text)
+        handle.write(text + "\n\n")
+        handle.flush()
+
+    yield emit
+    handle.close()
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Weighted voting for heterogeneous hardware: optimize the votes too.
+
+The paper's evaluation uses one vote per copy because its networks are
+symmetric. Real deployments are not: this example builds a 12-site
+chorded ring where every third site is flaky (55 % reliable vs 95 %),
+then compares three configurations:
+
+1. uniform votes + majority quorums (the naive deployment),
+2. uniform votes + Figure-1 optimal quorums,
+3. hill-climb optimized votes + optimal quorums
+   (:func:`repro.optimize_votes`).
+
+All three are scored on a held-out Monte-Carlo state sample, and the
+chosen vote vector is printed so you can see the flaky sites being
+stripped of influence.
+
+Run:  python examples/heterogeneous_votes.py
+"""
+
+import numpy as np
+
+from repro import optimize_votes
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.quorum.vote_optimizer import _StateSample, availability_of_votes
+from repro.topology.generators import ring_with_chords
+
+N = 12
+ALPHA = 0.6
+GOOD_P, BAD_P, LINK_R = 0.95, 0.55, 0.95
+
+
+def main() -> None:
+    topology = ring_with_chords(N, 2)
+    p = np.full(N, GOOD_P)
+    p[::3] = BAD_P
+    print(f"topology: {topology.name}")
+    print(f"site reliabilities: {p.tolist()}")
+    print(f"read fraction alpha = {ALPHA}\n")
+
+    holdout = _StateSample(topology, p, LINK_R, n_samples=8_000, seed=999)
+    uniform = np.ones(N, dtype=np.int64)
+
+    # 1. uniform votes, majority quorums
+    matrix = holdout.density_matrix(uniform)
+    model = AvailabilityModel.from_density_matrix(matrix)
+    a_majority = float(model.availability(ALPHA, model.max_read_quorum))
+    print(f"uniform votes + majority quorums : A = {a_majority:.4f}")
+
+    # 2. uniform votes, optimal quorums
+    a_uniform, q_uniform = availability_of_votes(holdout, uniform, ALPHA)
+    print(f"uniform votes + optimal quorums  : A = {a_uniform:.4f} "
+          f"at {q_uniform.assignment}")
+
+    # 3. optimized votes, optimal quorums
+    search = optimize_votes(topology, alpha=ALPHA, p=p, r=LINK_R,
+                            n_samples=2_000, seed=7)
+    a_opt, q_opt = availability_of_votes(
+        holdout, np.asarray(search.votes, dtype=np.int64), ALPHA
+    )
+    print(f"optimized votes + optimal quorums: A = {a_opt:.4f} "
+          f"at {q_opt.assignment}")
+    print(f"\nvote vector found by hill-climbing ({search.candidates_evaluated} "
+          f"candidates scored):")
+    for site, (votes, rel) in enumerate(zip(search.votes, p)):
+        marker = "  <- flaky" if rel == BAD_P else ""
+        print(f"  site {site:2d}: reliability {rel:.2f}, votes {votes}{marker}")
+
+    print(f"\ntotal gain over the naive deployment: {a_opt - a_majority:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

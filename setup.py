@@ -1,0 +1,12 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+The environment is offline and has setuptools but no wheel; PEP 517
+editable installs need ``bdist_wheel``, so we route through the legacy
+``setup.py develop`` path (``pip install -e . --no-build-isolation``
+picks this up automatically when setup.py exists and PEP 517 is not
+forced). Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

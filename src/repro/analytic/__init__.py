@@ -1,0 +1,58 @@
+"""Analytic component-size distributions (paper, section 4.2).
+
+The optimal quorum assignment algorithm consumes, for each site ``i``, the
+density ``f_i(v)`` — the probability that site ``i`` currently sits in a
+component holding exactly ``v`` votes (with ``f_i(0)`` covering the site
+being down). This package provides every way the paper obtains ``f_i``:
+
+- closed forms for symmetric networks: :func:`ring_density`,
+  :func:`complete_density` (via Gilbert's ``Rel(m, r)`` recursion), and
+  :func:`bus_density` in both bus-architecture variants;
+- an exact exponential-time enumeration oracle for small networks
+  (:func:`enumerate_density`), used to validate everything else — the
+  paper proves the general problem #P-complete, so this oracle is for
+  tests, not production;
+- a static Monte-Carlo estimator for arbitrary graphs
+  (:func:`montecarlo_density`), the off-line counterpart of the on-line
+  estimation performed inside the simulator.
+"""
+
+from repro.analytic.density import (
+    density_matrix_mean,
+    normalize_density,
+    validate_density,
+)
+from repro.analytic.rel import all_connected_probability, rel
+from repro.analytic.ring import ring_density
+from repro.analytic.complete import complete_density
+from repro.analytic.bus import bus_density
+from repro.analytic.tree import tree_density, tree_density_matrix
+from repro.analytic.enumeration import enumerate_density, enumerate_density_matrix
+from repro.analytic.montecarlo import montecarlo_density, montecarlo_density_matrix
+from repro.analytic.markov import (
+    JointMarkovChain,
+    dynamic_voting_key,
+    static_protocol_key,
+    stationary_availability,
+)
+
+__all__ = [
+    "JointMarkovChain",
+    "all_connected_probability",
+    "bus_density",
+    "complete_density",
+    "density_matrix_mean",
+    "enumerate_density",
+    "dynamic_voting_key",
+    "enumerate_density_matrix",
+    "montecarlo_density",
+    "montecarlo_density_matrix",
+    "normalize_density",
+    "rel",
+    "ring_density",
+    "static_protocol_key",
+    "stationary_availability",
+    "tree_density",
+    "tree_density_matrix",
+    "validate_density",
+]

@@ -1,0 +1,108 @@
+"""Exact component-vote densities by exhaustive state enumeration.
+
+The paper proves that computing ``f_i`` in a general network is
+#P-complete, so no polynomial algorithm is expected. For *small* networks,
+though, we can enumerate all ``2^(n_sites + n_links)`` up/down states,
+weight each by its probability, and accumulate the exact density. This
+module is the library's ground-truth oracle: the closed forms
+(:mod:`repro.analytic.ring`, :mod:`~repro.analytic.complete`,
+:mod:`~repro.analytic.bus`), the Monte-Carlo estimator, and the simulator's
+stationary behaviour are all validated against it in the test suite.
+
+Component reliabilities may be uniform (scalars ``p``, ``r``) or per
+component (arrays), which is how the star-with-perfect-spokes encoding of
+the bus network is enumerated exactly.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.connectivity.components import component_labels, component_vote_totals
+from repro.errors import DensityError, TopologyError
+from repro.topology.model import Topology
+
+__all__ = ["enumerate_density", "enumerate_density_matrix"]
+
+#: Refuse to enumerate beyond this many fallible components (2^24 states).
+MAX_COMPONENTS = 24
+
+Reliability = Union[float, Sequence[float], np.ndarray]
+
+
+def _as_reliability_vector(value: Reliability, count: int, label: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(count, float(arr))
+    if arr.shape != (count,):
+        raise DensityError(f"{label} must be scalar or length {count}, got shape {arr.shape}")
+    if ((arr < 0.0) | (arr > 1.0)).any():
+        raise DensityError(f"{label} values must be in [0, 1]")
+    return arr
+
+
+def enumerate_density_matrix(
+    topology: Topology,
+    p: Reliability,
+    r: Reliability,
+) -> np.ndarray:
+    """Exact density matrix ``(n_sites, T+1)`` by full state enumeration.
+
+    Components with reliability exactly 0 or 1 are pinned rather than
+    enumerated, so a star with perfectly reliable spokes costs only
+    ``2^(n_sites + 1)`` states rather than ``2^(2n + 1)``.
+    """
+    site_rel = _as_reliability_vector(p, topology.n_sites, "site reliability")
+    link_rel = _as_reliability_vector(r, topology.n_links, "link reliability")
+
+    free_sites = np.nonzero((site_rel > 0.0) & (site_rel < 1.0))[0]
+    free_links = np.nonzero((link_rel > 0.0) & (link_rel < 1.0))[0]
+    n_free = free_sites.size + free_links.size
+    if n_free > MAX_COMPONENTS:
+        raise DensityError(
+            f"enumeration over {n_free} fallible components exceeds the "
+            f"{MAX_COMPONENTS}-component safety cap; use montecarlo_density instead"
+        )
+
+    T = topology.total_votes
+    matrix = np.zeros((topology.n_sites, T + 1), dtype=np.float64)
+
+    base_site_up = site_rel >= 1.0
+    base_link_up = link_rel >= 1.0
+    site_up = base_site_up.copy()
+    link_up = base_link_up.copy()
+
+    for bits in product((False, True), repeat=n_free):
+        site_bits = bits[: free_sites.size]
+        link_bits = bits[free_sites.size:]
+        site_up[free_sites] = site_bits
+        link_up[free_links] = link_bits
+
+        prob = 1.0
+        for idx, up in zip(free_sites, site_bits):
+            prob *= site_rel[idx] if up else 1.0 - site_rel[idx]
+        for idx, up in zip(free_links, link_bits):
+            prob *= link_rel[idx] if up else 1.0 - link_rel[idx]
+        if prob == 0.0:
+            continue
+
+        labels = component_labels(topology, site_up, link_up)
+        totals = component_vote_totals(labels, topology.votes)
+        matrix[np.arange(topology.n_sites), totals] += prob
+
+    return matrix
+
+
+def enumerate_density(
+    topology: Topology,
+    site: int,
+    p: Reliability,
+    r: Reliability,
+) -> np.ndarray:
+    """Exact ``f_site(v)`` for one site (length ``T + 1``)."""
+    if not 0 <= site < topology.n_sites:
+        raise TopologyError(f"unknown site {site}")
+    return enumerate_density_matrix(topology, p, r)[site]

@@ -1,0 +1,279 @@
+"""Exact steady-state analysis of (dynamic) protocols via a joint CTMC.
+
+The enumeration oracle (:mod:`repro.analytic.enumeration`) computes exact
+densities for *static* protocols, whose grant decisions depend only on
+the current network state. Dynamic protocols — quorum reassignment,
+dynamic voting — carry history, so their availability depends on the
+*joint* process (network state, protocol state). For small systems that
+joint process is a finite continuous-time Markov chain:
+
+- network transitions: each fallible component alternates exponential
+  up (mean ``mttf``) / down (mean ``mttr``) phases, so exactly one
+  component flips per transition, at rate ``1/mttf`` or ``1/mttr``;
+- the protocol reacts deterministically at each transition (our
+  protocols' ``on_network_change`` semantics — state exchange plus, for
+  dynamic voting, the epoch write), so the joint chain stays Markov with
+  the same transition structure.
+
+:class:`JointMarkovChain` explores the reachable joint state space by
+BFS (branching protocol copies via ``deepcopy``), builds the generator
+matrix, solves the stationary distribution exactly, and evaluates ACC
+and SURV as stationary expectations. This is the style of analysis the
+dynamic-voting literature (the paper's refs [12, 13]) uses, and here it
+doubles as an exact oracle for the simulator's dynamic-protocol path.
+
+State-space caution: network states alone number ``2^(sites + links)``;
+keep systems tiny (≤ ~12 fallible components) and give the protocol a
+finite canonical key (see :func:`dynamic_voting_key`, which rank-encodes
+the unbounded version numbers).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import DensityError, SimulationError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.topology.model import Topology
+
+__all__ = [
+    "JointMarkovChain",
+    "dynamic_voting_key",
+    "static_protocol_key",
+    "stationary_availability",
+]
+
+#: Explored-state cap: beyond this the system is too large for exactness.
+MAX_STATES = 60_000
+
+ProtocolKey = Callable[[ReplicaControlProtocol], Hashable]
+
+
+def static_protocol_key(protocol: ReplicaControlProtocol) -> Hashable:
+    """Key for history-free protocols: no protocol state at all."""
+    return None
+
+
+def dynamic_voting_key(protocol) -> Hashable:
+    """Canonical finite key for :class:`DynamicVotingProtocol` state.
+
+    Version numbers grow without bound, but only their *relative order*
+    matters to the distinguished-component rule, so they are rank-encoded
+    (dense ranks). Cardinalities and distinguished sites are already
+    bounded.
+    """
+    versions = protocol.version
+    _, ranks = np.unique(versions, return_inverse=True)
+    return (
+        tuple(int(r) for r in ranks),
+        tuple(int(c) for c in protocol.cardinality),
+        tuple(int(d) for d in protocol.distinguished_site),
+    )
+
+
+@dataclass(frozen=True)
+class _JointState:
+    site_up: Tuple[bool, ...]
+    link_up: Tuple[bool, ...]
+    protocol_key: Hashable
+
+
+class JointMarkovChain:
+    """Reachable joint chain of one protocol over one small topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol_factory: Callable[[], ReplicaControlProtocol],
+        mttf: float,
+        mttr: float,
+        protocol_key: ProtocolKey,
+        fallible_sites: Optional[np.ndarray] = None,
+        fallible_links: Optional[np.ndarray] = None,
+    ) -> None:
+        if mttf <= 0 or mttr <= 0:
+            raise SimulationError("mttf and mttr must be positive")
+        self.topology = topology
+        self.fail_rate = 1.0 / mttf
+        self.repair_rate = 1.0 / mttr
+        self.protocol_key = protocol_key
+
+        if fallible_sites is None:
+            fallible_sites = np.ones(topology.n_sites, dtype=bool)
+        if fallible_links is None:
+            fallible_links = np.ones(topology.n_links, dtype=bool)
+        self.fallible_sites = np.asarray(fallible_sites, dtype=bool)
+        self.fallible_links = np.asarray(fallible_links, dtype=bool)
+
+        n_fallible = int(self.fallible_sites.sum() + self.fallible_links.sum())
+        if 2 ** n_fallible > MAX_STATES:
+            raise DensityError(
+                f"{n_fallible} fallible components means >= 2^{n_fallible} "
+                f"network states; exact analysis is limited to {MAX_STATES} states"
+            )
+
+        self._explore(protocol_factory)
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _make_tracker(self, state: _JointState) -> Tuple[NetworkState, ComponentTracker]:
+        net = NetworkState(
+            self.topology,
+            np.asarray(state.site_up, dtype=bool),
+            np.asarray(state.link_up, dtype=bool),
+        )
+        return net, ComponentTracker(net)
+
+    def _explore(self, protocol_factory: Callable[[], ReplicaControlProtocol]) -> None:
+        topo = self.topology
+        initial_protocol = protocol_factory()
+        initial_protocol.reset()
+        net = NetworkState(topo)
+        tracker = ComponentTracker(net)
+        initial_protocol.on_network_change(tracker)
+
+        start = _JointState(
+            tuple(net.site_up.tolist()),
+            tuple(net.link_up.tolist()),
+            self.protocol_key(initial_protocol),
+        )
+        self.index: Dict[_JointState, int] = {start: 0}
+        self.states: List[_JointState] = [start]
+        self._protocols: List[ReplicaControlProtocol] = [initial_protocol]
+        edges: List[Tuple[int, int, float]] = []
+
+        frontier = [0]
+        while frontier:
+            next_frontier: List[int] = []
+            for idx in frontier:
+                state = self.states[idx]
+                protocol = self._protocols[idx]
+                for kind, comp in self._flips():
+                    rate, new_state_arrays = self._apply_flip(state, kind, comp)
+                    if rate == 0.0:
+                        continue
+                    new_net = NetworkState(topo, *new_state_arrays)
+                    new_tracker = ComponentTracker(new_net)
+                    branched = copy.deepcopy(protocol)
+                    branched.on_network_change(new_tracker)
+                    joint = _JointState(
+                        tuple(new_net.site_up.tolist()),
+                        tuple(new_net.link_up.tolist()),
+                        self.protocol_key(branched),
+                    )
+                    target = self.index.get(joint)
+                    if target is None:
+                        target = len(self.states)
+                        if target >= MAX_STATES:
+                            raise DensityError(
+                                f"joint state space exceeded {MAX_STATES} states"
+                            )
+                        self.index[joint] = target
+                        self.states.append(joint)
+                        self._protocols.append(branched)
+                        next_frontier.append(target)
+                    edges.append((idx, target, rate))
+            frontier = next_frontier
+        self._edges = edges
+
+    def _flips(self):
+        for site in np.nonzero(self.fallible_sites)[0]:
+            yield "site", int(site)
+        for link in np.nonzero(self.fallible_links)[0]:
+            yield "link", int(link)
+
+    def _apply_flip(self, state: _JointState, kind: str, comp: int):
+        if kind == "site":
+            up = list(state.site_up)
+            rate = self.fail_rate if up[comp] else self.repair_rate
+            up[comp] = not up[comp]
+            return rate, (np.asarray(up, dtype=bool),
+                          np.asarray(state.link_up, dtype=bool))
+        up = list(state.link_up)
+        rate = self.fail_rate if up[comp] else self.repair_rate
+        up[comp] = not up[comp]
+        return rate, (np.asarray(state.site_up, dtype=bool),
+                      np.asarray(up, dtype=bool))
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        n = len(self.states)
+        Q = np.zeros((n, n), dtype=np.float64)
+        for src, dst, rate in self._edges:
+            Q[src, dst] += rate
+            Q[src, src] -= rate
+        # Solve pi Q = 0, sum(pi) = 1: replace one balance equation with
+        # the normalization condition.
+        A = Q.T.copy()
+        A[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        pi = np.linalg.solve(A, b)
+        pi[pi < 0] = 0.0  # numerical dust
+        self.stationary = pi / pi.sum()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def availability(self, alpha: float) -> float:
+        """Exact stationary ACC under uniform access submission."""
+        if not 0.0 <= alpha <= 1.0:
+            raise SimulationError(f"alpha must be in [0, 1], got {alpha}")
+        n_sites = self.topology.n_sites
+        total = 0.0
+        for pi, state, protocol in zip(self.stationary, self.states, self._protocols):
+            if pi == 0.0:
+                continue
+            _, tracker = self._make_tracker(state)
+            read_mask, write_mask = protocol.grant_masks(tracker)
+            frac = (
+                alpha * float(read_mask.sum()) / n_sites
+                + (1.0 - alpha) * float(write_mask.sum()) / n_sites
+            )
+            total += pi * frac
+        return total
+
+    def survivability(self) -> Tuple[float, float]:
+        """Exact stationary SURV for reads and writes."""
+        surv_r = surv_w = 0.0
+        for pi, state, protocol in zip(self.stationary, self.states, self._protocols):
+            if pi == 0.0:
+                continue
+            _, tracker = self._make_tracker(state)
+            read_mask, write_mask = protocol.grant_masks(tracker)
+            if read_mask.any():
+                surv_r += pi
+            if write_mask.any():
+                surv_w += pi
+        return surv_r, surv_w
+
+    def network_marginal(self) -> Dict[Tuple[Tuple[bool, ...], Tuple[bool, ...]], float]:
+        """Stationary probability of each network state (protocol marginalized)."""
+        out: Dict = {}
+        for pi, state in zip(self.stationary, self.states):
+            key = (state.site_up, state.link_up)
+            out[key] = out.get(key, 0.0) + float(pi)
+        return out
+
+
+def stationary_availability(
+    topology: Topology,
+    protocol_factory: Callable[[], ReplicaControlProtocol],
+    alpha: float,
+    mttf: float,
+    mttr: float,
+    protocol_key: ProtocolKey = static_protocol_key,
+    **kwargs,
+) -> float:
+    """One-call exact ACC; see :class:`JointMarkovChain`."""
+    chain = JointMarkovChain(
+        topology, protocol_factory, mttf, mttr, protocol_key, **kwargs
+    )
+    return chain.availability(alpha)

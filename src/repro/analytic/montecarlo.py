@@ -1,0 +1,96 @@
+"""Static Monte-Carlo estimation of component-vote densities.
+
+For general graphs where exact computation is #P-complete and the closed
+forms do not apply, ``f_i`` can be estimated by sampling independent
+network states from the stationary distribution (every site up w.p. ``p``,
+every link up w.p. ``r``) and recording each site's component vote total.
+
+This is the *off-line* counterpart of the on-line estimator in
+:mod:`repro.protocols.estimator`: the on-line estimator sees states
+weighted by the failure-process dynamics at access instants, which for
+Poisson accesses (PASTA) converges to the same stationary distribution —
+a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analytic.density import normalize_density
+from repro.connectivity.components import component_labels, component_vote_totals
+from repro.errors import DensityError, SimulationError, TopologyError
+from repro.rng import RandomState, as_generator
+from repro.topology.model import Topology
+
+__all__ = ["montecarlo_density_matrix", "montecarlo_density"]
+
+Reliability = Union[float, Sequence[float], np.ndarray]
+
+
+def _reliability_vector(value: Reliability, count: int, label: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(count, float(arr))
+    if arr.shape != (count,):
+        raise DensityError(f"{label} must be scalar or length {count}, got shape {arr.shape}")
+    if ((arr < 0.0) | (arr > 1.0)).any():
+        raise DensityError(f"{label} values must be in [0, 1]")
+    return arr
+
+
+def montecarlo_density_matrix(
+    topology: Topology,
+    p: Reliability,
+    r: Reliability,
+    n_samples: int = 10_000,
+    seed: RandomState = None,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Estimate the density matrix ``(n_sites, T+1)`` from random states.
+
+    States are sampled in vectorized batches (the random masks for a whole
+    batch are drawn with one generator call); component labelling remains
+    per-state since partitions differ between states.
+    """
+    if n_samples <= 0:
+        raise SimulationError(f"n_samples must be positive, got {n_samples}")
+    if batch_size <= 0:
+        raise SimulationError(f"batch_size must be positive, got {batch_size}")
+
+    site_rel = _reliability_vector(p, topology.n_sites, "site reliability")
+    link_rel = _reliability_vector(r, topology.n_links, "link reliability")
+    rng = as_generator(seed)
+
+    T = topology.total_votes
+    counts = np.zeros((topology.n_sites, T + 1), dtype=np.float64)
+    site_ids = np.arange(topology.n_sites)
+
+    remaining = n_samples
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        site_masks = rng.random((batch, topology.n_sites)) < site_rel
+        link_masks = rng.random((batch, topology.n_links)) < link_rel
+        for k in range(batch):
+            labels = component_labels(topology, site_masks[k], link_masks[k])
+            totals = component_vote_totals(labels, topology.votes)
+            counts[site_ids, totals] += 1.0
+        remaining -= batch
+
+    return counts / n_samples
+
+
+def montecarlo_density(
+    topology: Topology,
+    site: int,
+    p: Reliability,
+    r: Reliability,
+    n_samples: int = 10_000,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Estimate ``f_site(v)`` for one site; returns a normalized density."""
+    if not 0 <= site < topology.n_sites:
+        raise TopologyError(f"unknown site {site}")
+    matrix = montecarlo_density_matrix(topology, p, r, n_samples=n_samples, seed=seed)
+    return normalize_density(matrix[site])

@@ -1,0 +1,77 @@
+"""Gilbert's recursion for the connectivity of a random complete graph.
+
+``Rel(m, r)`` is the probability that all ``m`` sites of a fully-connected
+network can communicate when sites never fail and each of the
+``m(m-1)/2`` links is independently up with probability ``r`` (Gilbert,
+*Random graphs*, Ann. Math. Stat. 30, 1959; paper, section 4.2):
+
+    Rel(m, r) = 1 - sum_{i=1}^{m-1} C(m-1, i-1) (1-r)^{i(m-i)} Rel(i, r)
+
+The sum removes, for each proper subset containing a fixed vertex, the
+probability that exactly that subset forms the fixed vertex's connected
+component (the subset is internally connected and every one of its
+``i(m-i)`` links to the rest is down).
+
+The recursion is O(m) per term given earlier terms, O(m^2) overall; we
+compute the whole table iteratively and cache per ``r``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy.special import comb
+
+from repro.errors import DensityError
+
+__all__ = ["rel", "rel_table", "all_connected_probability"]
+
+
+@lru_cache(maxsize=256)
+def _rel_table_cached(m_max: int, r_key: float) -> Tuple[float, ...]:
+    r = float(r_key)
+    table = np.empty(m_max + 1, dtype=np.float64)
+    table[0] = 1.0  # vacuous: no sites, trivially connected
+    if m_max >= 1:
+        table[1] = 1.0
+    one_minus_r = 1.0 - r
+    for m in range(2, m_max + 1):
+        i = np.arange(1, m)
+        # C(m-1, i-1) * (1-r)^(i*(m-i)) * Rel(i, r)
+        coeff = comb(m - 1, i - 1)
+        if one_minus_r == 0.0:
+            cut = np.zeros_like(i, dtype=np.float64)
+        else:
+            cut = one_minus_r ** (i * (m - i)).astype(np.float64)
+        total = float(np.dot(coeff * cut, table[1:m]))
+        table[m] = 1.0 - total
+    # Floating point can push values a hair outside [0, 1]; clamp.
+    np.clip(table, 0.0, 1.0, out=table)
+    return tuple(table.tolist())
+
+
+def rel_table(m_max: int, r: float) -> np.ndarray:
+    """``Rel(m, r)`` for every ``m`` in ``0..m_max`` as one array."""
+    if m_max < 0:
+        raise DensityError(f"m_max must be non-negative, got {m_max}")
+    if not 0.0 <= r <= 1.0:
+        raise DensityError(f"link reliability must be in [0, 1], got {r}")
+    return np.asarray(_rel_table_cached(m_max, float(r)), dtype=np.float64)
+
+
+def rel(m: int, r: float) -> float:
+    """Probability that ``m`` sites of a complete graph are all connected.
+
+    ``Rel(0, r)`` and ``Rel(1, r)`` are 1 by convention (no pair needs to
+    communicate).
+    """
+    if m < 0:
+        raise DensityError(f"m must be non-negative, got {m}")
+    return float(rel_table(m, r)[m])
+
+
+def all_connected_probability(m: int, r: float) -> float:
+    """Readable alias for :func:`rel`."""
+    return rel(m, r)

@@ -1,0 +1,81 @@
+"""Closed-form component-vote density for a ring network.
+
+Paper, section 4.2: for a ring of ``n`` sites with one copy and one vote
+per site (so ``T = n``), the probability that a given site lies in a
+component of exactly ``v`` votes is
+
+    f_i(v) = v p^v r^{v-1} (1-r) + p^v r^v                 if v = n = T
+    f_i(v) = v p^v r^{v-1} ((1-p) + p (1-r)^2)             if v = T - 1
+    f_i(v) = v p^v r^{v-1} (1 - p r)^2                     if 0 < v < T - 1
+    f_i(v) = 1 - p                                         if v = 0
+
+with ``p`` the site reliability and ``r`` the link reliability. The
+structure: a component of ``v < n`` consecutive up sites containing site
+``i`` can start at ``v`` positions, needs its ``v`` sites up (``p^v``) and
+its ``v-1`` internal links up (``r^{v-1}``), and must be *cut off* at both
+ends. For ``v < n-1`` the two cuts are independent and each costs
+``1 - p r`` (boundary neighbour down, or up with the boundary link down).
+For ``v = n-1`` both cuts involve the same single excluded site: it is
+either down (``1-p``) or up with both of its ring links down
+(``p (1-r)^2``). For ``v = n`` either all ``n`` ring links are up
+(``r^n``) or exactly one is down (``n r^{n-1} (1-r)`` — the component is
+still the whole ring through the other direction).
+
+The density is identical at every site by symmetry, so one vector serves
+as every row of the density matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytic.density import validate_density
+from repro.errors import DensityError, TopologyError
+from repro.topology.model import Topology
+
+__all__ = ["ring_density", "ring_density_matrix"]
+
+
+def ring_density(n_sites: int, p: float, r: float) -> np.ndarray:
+    """The ring ``f_i(v)`` as an array of length ``n_sites + 1``.
+
+    Parameters
+    ----------
+    n_sites:
+        Ring size ``n`` (= total votes ``T`` under uniform voting).
+    p, r:
+        Site and link reliabilities in ``[0, 1]``.
+    """
+    if n_sites < 3:
+        raise TopologyError(f"a ring needs at least 3 sites, got {n_sites}")
+    for label, value in (("site reliability p", p), ("link reliability r", r)):
+        if not 0.0 <= value <= 1.0:
+            raise DensityError(f"{label} must be in [0, 1], got {value}")
+
+    n = n_sites
+    f = np.zeros(n + 1, dtype=np.float64)
+    f[0] = 1.0 - p
+
+    v = np.arange(1, n + 1, dtype=np.float64)
+    base = v * p**v * r ** (v - 1.0)
+    # Interior sizes 0 < v < T-1: two independent boundary cuts.
+    f[1:n] = base[: n - 1] * (1.0 - p * r) ** 2
+    # v = T-1: one excluded site carries both boundary links.
+    f[n - 1] = base[n - 2] * ((1.0 - p) + p * (1.0 - r) ** 2)
+    # v = T = n: whole ring up; at most one ring link down.
+    f[n] = n * p**n * r ** (n - 1.0) * (1.0 - r) + p**n * r**n
+    return validate_density(f, total_votes=n, tolerance=1e-6)
+
+
+def ring_density_matrix(topology: Topology, p: float, r: float) -> np.ndarray:
+    """Density matrix ``(n_sites, T+1)`` for a uniform-vote ring topology.
+
+    Validates that ``topology`` really is a ring with one vote per site —
+    the closed form is only correct there.
+    """
+    if not topology.is_ring():
+        raise TopologyError(f"{topology!r} is not a ring; the closed form does not apply")
+    if not np.all(topology.votes == 1):
+        raise TopologyError("ring closed form requires one vote per site")
+    row = ring_density(topology.n_sites, p, r)
+    return np.tile(row, (topology.n_sites, 1))

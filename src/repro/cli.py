@@ -1,0 +1,365 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the paper's workflows so the library is usable without
+writing Python:
+
+- ``optimize``          — Figure-1 optimal quorum assignment from an
+  analytic density (ring / complete / bus / tree), with an optional
+  write-availability floor (section 5.4).
+- ``simulate``          — run the discrete-event simulator for one
+  protocol and print availability with confidence intervals.
+- ``figure``            — regenerate one paper figure's series from a
+  simulation run (the on-line density technique).
+- ``rw-table``          — the section 5.5 read-write-ratio summary over
+  several topologies.
+- ``write-constraint``  — the section 5.4 floor sweep for one topology.
+
+All commands accept ``--seed`` for exact reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_DENSITY_FAMILIES = ("ring", "complete", "bus")
+_SCALES = ("test", "small", "paper", "bench")
+
+
+def _scale(name: str):
+    from repro.experiments.paper import PAPER_SCALE, SMALL_SCALE, TEST_SCALE
+    from repro.experiments.paper import ExperimentScale
+
+    if name == "bench":
+        return ExperimentScale("bench", 101, 500.0, 12_000.0, 2,
+                               initial_state="stationary")
+    return {"test": TEST_SCALE, "small": SMALL_SCALE, "paper": PAPER_SCALE}[name]
+
+
+def _analytic_density(family: str, sites: int, p: float, r: float) -> np.ndarray:
+    from repro.analytic.bus import bus_density
+    from repro.analytic.complete import complete_density
+    from repro.analytic.ring import ring_density
+
+    if family == "ring":
+        return ring_density(sites, p, r)
+    if family == "complete":
+        return complete_density(sites, p, r)
+    if family == "bus":
+        return bus_density(sites, p, r, sites_need_bus=False)
+    raise ValueError(f"unknown density family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.quorum.availability import AvailabilityModel
+    from repro.quorum.constraints import optimize_with_write_floor
+    from repro.quorum.optimizer import optimal_read_quorum
+
+    density = _analytic_density(args.family, args.sites, args.p, args.r)
+    model = AvailabilityModel(density, density)
+    if args.write_floor > 0.0:
+        result = optimize_with_write_floor(model, args.alpha, args.write_floor)
+    else:
+        result = optimal_read_quorum(model, args.alpha, method=args.method)
+    write = float(np.asarray(model.write_availability_at(result.read_quorum)))
+    print(f"topology        : {args.family}-{args.sites} (p={args.p}, r={args.r})")
+    print(f"alpha           : {args.alpha}")
+    if args.write_floor > 0:
+        print(f"write floor     : {args.write_floor}")
+    print(f"optimal quorums : q_r={result.read_quorum}  q_w={result.write_quorum}")
+    print(f"availability    : {result.availability:.4f}")
+    print(f"write avail.    : {write:.4f}")
+    print(f"method          : {result.method} ({result.evaluations} evaluations)")
+    return 0
+
+
+def _make_protocol(name: str, total_votes: int, read_quorum: Optional[int]):
+    from repro.protocols.majority import MajorityConsensusProtocol
+    from repro.protocols.primary_copy import PrimaryCopyProtocol
+    from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+    from repro.protocols.read_one_write_all import ReadOneWriteAllProtocol
+    from repro.quorum.assignment import QuorumAssignment
+
+    if name == "majority":
+        return MajorityConsensusProtocol(total_votes)
+    if name == "rowa":
+        return ReadOneWriteAllProtocol(total_votes)
+    if name == "primary":
+        return PrimaryCopyProtocol(0)
+    if name == "quorum":
+        if read_quorum is None:
+            raise SystemExit("--read-quorum is required with --protocol quorum")
+        return QuorumConsensusProtocol(
+            QuorumAssignment.from_read_quorum(total_votes, read_quorum)
+        )
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.runner import run_simulation
+
+    scale = _scale(args.scale)
+    config = scale.config(args.chords, alpha=args.alpha, seed=args.seed)
+    protocol = _make_protocol(args.protocol, config.topology.total_votes,
+                              args.read_quorum)
+    result = run_simulation(
+        config,
+        protocol,
+        target_half_width=args.target_half_width,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure_data
+    from repro.experiments.report import render_figure
+
+    fig = figure_data(chords=args.chords, scale=_scale(args.scale), seed=args.seed)
+    if args.chart:
+        from repro.experiments.charts import figure_chart
+
+        print(figure_chart(fig))
+    else:
+        print(render_figure(fig, max_points=args.points))
+    return 0
+
+
+def _cmd_rw_table(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure_data
+    from repro.experiments.paper import PAPER_ALPHAS
+    from repro.experiments.report import render_rw_table
+    from repro.experiments.tables import read_write_ratio_table
+
+    models = []
+    for chords in args.chords:
+        fig = figure_data(chords=chords, scale=_scale(args.scale),
+                          seed=args.seed + chords)
+        models.append((fig.topology_name, fig.model))
+    print(render_rw_table(read_write_ratio_table(models, PAPER_ALPHAS)))
+    return 0
+
+
+def _cmd_write_constraint(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure_data
+    from repro.experiments.report import render_write_constraint_table
+    from repro.experiments.tables import write_constraint_table
+
+    fig = figure_data(chords=args.chords, scale=_scale(args.scale), seed=args.seed)
+    rows = write_constraint_table(fig.model, args.alpha, write_floors=args.floors)
+    print(render_write_constraint_table(rows, args.alpha, fig.topology_name))
+    return 0
+
+
+def _cmd_votes(args: argparse.Namespace) -> int:
+    from repro.quorum.vote_optimizer import optimize_votes
+    from repro.topology.generators import ring_with_chords
+
+    topology = ring_with_chords(args.sites, args.chords)
+    p = np.full(args.sites, args.p)
+    if args.flaky_every > 0:
+        p[:: args.flaky_every] = args.flaky_p
+    result = optimize_votes(
+        topology,
+        alpha=args.alpha,
+        p=p,
+        r=args.r,
+        total_votes=args.total_votes,
+        method=args.method,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    print(f"topology       : {topology.name}")
+    print(f"site p         : {p.tolist()}")
+    print(f"vote vector    : {list(result.votes)}")
+    print(f"quorums        : {result.quorum.assignment}")
+    print(f"availability   : {result.availability:.4f}")
+    print(f"method         : {result.method} ({result.candidates_evaluated} candidates)")
+    return 0
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from repro.protocols.dynamic_voting import DynamicVotingProtocol
+    from repro.protocols.majority import MajorityConsensusProtocol
+    from repro.protocols.primary_copy import PrimaryCopyProtocol
+    from repro.protocols.read_one_write_all import ReadOneWriteAllProtocol
+    from repro.simulation.engine import SimulationEngine
+    from repro.simulation.trace import TraceReplayer
+    from repro.topology.generators import paper_topology
+
+    scale = _scale(args.scale)
+    limit = scale.n_sites * (scale.n_sites - 3) // 2
+    topology = paper_topology(min(args.chords, limit), n_sites=scale.n_sites)
+    config = scale.config(args.chords, alpha=args.alpha, seed=args.seed,
+                          topology=topology)
+    T = topology.total_votes
+    engine = SimulationEngine(config, MajorityConsensusProtocol(T), record_trace=True)
+    batch = engine.run_batch(0)
+    replayer = TraceReplayer(topology, batch.trace)
+    print(f"recorded {len(batch.trace)} events over "
+          f"{batch.trace.duration():.1f} time units on {topology.name}")
+    print(f"time-weighted ACC at alpha = {args.alpha}, same history:")
+    contenders = [
+        ("majority", MajorityConsensusProtocol(T)),
+        ("rowa", ReadOneWriteAllProtocol(T)),
+        ("primary-copy", PrimaryCopyProtocol(0)),
+        ("dynamic-voting", DynamicVotingProtocol(topology.n_sites)),
+    ]
+    for name, protocol in contenders:
+        acc = replayer.availability_of(protocol, alpha=args.alpha)
+        print(f"  {name:<16s} {acc:.4f}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import render_campaign, run_campaign
+
+    result = run_campaign(
+        scale=_scale(args.scale),
+        seed=args.seed,
+        include_fully_connected=args.full,
+    )
+    print(render_campaign(result))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import validate_reproduction
+
+    report = validate_reproduction(seed=args.seed)
+    print(report)
+    return 0 if report.passed else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal quorum assignments for replicated distributed databases "
+        "(Johnson & Raab, ICPP 1991 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="Figure-1 optimal quorum assignment")
+    opt.add_argument("--family", choices=_DENSITY_FAMILIES, default="ring")
+    opt.add_argument("--sites", type=int, default=101)
+    opt.add_argument("--p", type=float, default=0.96, help="site reliability")
+    opt.add_argument("--r", type=float, default=0.96, help="link/bus reliability")
+    opt.add_argument("--alpha", type=float, default=0.5, help="read fraction")
+    opt.add_argument("--write-floor", type=float, default=0.0,
+                     help="minimum write availability A_w (section 5.4)")
+    opt.add_argument("--method", default="exhaustive",
+                     choices=("exhaustive", "endpoints", "golden", "brent"))
+    opt.set_defaults(func=_cmd_optimize)
+
+    sim = sub.add_parser("simulate", help="discrete-event availability simulation")
+    sim.add_argument("--chords", type=int, default=2,
+                     help="paper topology index (ring + this many chords)")
+    sim.add_argument("--alpha", type=float, default=0.5)
+    sim.add_argument("--protocol", default="majority",
+                     choices=("majority", "rowa", "primary", "quorum"))
+    sim.add_argument("--read-quorum", type=int, default=None,
+                     help="q_r for --protocol quorum (q_w = T - q_r + 1)")
+    sim.add_argument("--scale", choices=_SCALES, default="bench")
+    sim.add_argument("--target-half-width", type=float, default=None,
+                     help="add batches until the 95%% CI half-width reaches this")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=_cmd_simulate)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure's series")
+    fig.add_argument("--chords", type=int, default=0)
+    fig.add_argument("--scale", choices=_SCALES, default="bench")
+    fig.add_argument("--points", type=int, default=12)
+    fig.add_argument("--chart", action="store_true",
+                     help="render an ASCII line chart instead of the table")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.set_defaults(func=_cmd_figure)
+
+    rw = sub.add_parser("rw-table", help="section 5.5 read-write-ratio summary")
+    rw.add_argument("--chords", type=int, nargs="+", default=[0, 2, 16, 256])
+    rw.add_argument("--scale", choices=_SCALES, default="bench")
+    rw.add_argument("--seed", type=int, default=0)
+    rw.set_defaults(func=_cmd_rw_table)
+
+    wc = sub.add_parser("write-constraint", help="section 5.4 floor sweep")
+    wc.add_argument("--chords", type=int, default=2)
+    wc.add_argument("--alpha", type=float, default=0.75)
+    wc.add_argument("--floors", type=float, nargs="+",
+                    default=[0.0, 0.05, 0.1, 0.2, 0.4])
+    wc.add_argument("--scale", choices=_SCALES, default="bench")
+    wc.add_argument("--seed", type=int, default=0)
+    wc.set_defaults(func=_cmd_write_constraint)
+
+    votes = sub.add_parser("votes", help="optimize the vote assignment too")
+    votes.add_argument("--sites", type=int, default=12)
+    votes.add_argument("--chords", type=int, default=2)
+    votes.add_argument("--alpha", type=float, default=0.5)
+    votes.add_argument("--p", type=float, default=0.95)
+    votes.add_argument("--r", type=float, default=0.95)
+    votes.add_argument("--flaky-every", type=int, default=0,
+                       help="mark every k-th site flaky (0 = none)")
+    votes.add_argument("--flaky-p", type=float, default=0.55)
+    votes.add_argument("--total-votes", type=int, default=None)
+    votes.add_argument("--method", choices=("hillclimb", "exhaustive"),
+                       default="hillclimb")
+    votes.add_argument("--samples", type=int, default=2_000)
+    votes.add_argument("--seed", type=int, default=0)
+    votes.set_defaults(func=_cmd_votes)
+
+    shoot = sub.add_parser(
+        "shootout",
+        help="replay one failure trace under every protocol",
+    )
+    shoot.add_argument("--chords", type=int, default=2)
+    shoot.add_argument("--alpha", type=float, default=0.5)
+    shoot.add_argument("--scale", choices=_SCALES, default="test")
+    shoot.add_argument("--seed", type=int, default=0)
+    shoot.set_defaults(func=_cmd_shootout)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="regenerate the paper's whole evaluation section",
+    )
+    camp.add_argument("--scale", choices=_SCALES, default="bench")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--full", action="store_true",
+                      help="include the fully-connected topology (slow)")
+    camp.set_defaults(func=_cmd_campaign)
+
+    val = sub.add_parser(
+        "validate",
+        help="run the reproduction-fidelity check battery (EXPERIMENTS.md)",
+    )
+    val.add_argument("--seed", type=int, default=0)
+    val.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code (2 on library errors)."""
+    from repro.errors import ReproError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

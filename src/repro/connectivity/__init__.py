@@ -1,0 +1,31 @@
+"""Connectivity substrate: component computation on partially-failed networks.
+
+Site and link failures partition the network into *components* — maximal
+sets of up sites that can reach each other over up links. Everything the
+quorum machinery needs from the network reduces to one vector: for each
+site, the total number of votes in its current component (a down site is
+"in a component of size zero", matching the paper's access accounting).
+
+Two interchangeable backends are provided: a pure-Python union-find
+(reference implementation, easy to audit) and a vectorized
+scipy.sparse.csgraph backend (the simulator's hot path).
+"""
+
+from repro.connectivity.components import (
+    component_labels,
+    component_members,
+    component_vote_totals,
+    components_unionfind,
+    votes_in_component_of,
+)
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+
+__all__ = [
+    "ComponentTracker",
+    "NetworkState",
+    "component_labels",
+    "component_members",
+    "component_vote_totals",
+    "components_unionfind",
+    "votes_in_component_of",
+]

@@ -1,0 +1,270 @@
+"""Component computation over a partially-failed topology.
+
+The central quantity (paper, section 4): given which sites and links are
+currently up, each up site belongs to a *component* — the set of up sites
+reachable from it over up links — and what matters to the quorum consensus
+protocol is the **total votes inside that component**. Down sites are
+treated as belonging to a component with zero votes, so the availability
+accounting naturally counts accesses submitted to down sites as denials
+(the ACC metric).
+
+Two backends compute component labels:
+
+``component_labels``
+    scipy.sparse.csgraph backend — builds the live subgraph as a CSR
+    matrix and labels components in compiled code. This is the simulator's
+    hot path (called once per failure/recovery event).
+
+``components_unionfind``
+    pure-Python weighted union-find with path compression — the auditable
+    reference implementation; tests assert both backends agree on random
+    states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+from repro.errors import TopologyError
+from repro.topology.model import Topology
+
+__all__ = [
+    "component_labels",
+    "components_unionfind",
+    "component_vote_totals",
+    "votes_in_component_of",
+    "component_members",
+]
+
+#: Label assigned to down sites; real components use labels >= 0.
+DOWN_LABEL = -1
+
+
+def _validate_masks(topology: Topology, site_up: np.ndarray, link_up: np.ndarray) -> None:
+    if site_up.shape != (topology.n_sites,):
+        raise TopologyError(
+            f"site_up must have shape ({topology.n_sites},), got {site_up.shape}"
+        )
+    if link_up.shape != (topology.n_links,):
+        raise TopologyError(
+            f"link_up must have shape ({topology.n_links},), got {link_up.shape}"
+        )
+
+
+#: Link count above which the scipy.csgraph backend beats union-find.
+#: Measured crossover on 101-site paper topologies: union-find wins up to
+#: a few hundred links (scipy's per-call sparse-construction overhead
+#: dominates there); csgraph wins on the fully-connected 5050-link case.
+CSGRAPH_THRESHOLD = 1_000
+
+
+def component_labels(
+    topology: Topology,
+    site_up: np.ndarray,
+    link_up: np.ndarray,
+) -> np.ndarray:
+    """Label each site with its component id (auto-dispatching backend).
+
+    Parameters
+    ----------
+    topology:
+        The static network.
+    site_up, link_up:
+        Boolean masks over sites and link ids. A link is *usable* iff the
+        link itself and both endpoints are up.
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 array of length ``n_sites``. Up sites get consecutive
+        component ids starting at 0; down sites get :data:`DOWN_LABEL`.
+        Component ids are consistent within one call but carry no meaning
+        across calls.
+
+    Dispatches between the pure-Python union-find (sparse networks — the
+    simulator's per-event hot path on the paper's ring topologies) and
+    the scipy.sparse.csgraph backend (dense networks) on link count; both
+    honour the same label contract and are cross-checked in the tests.
+    """
+    site_up = np.asarray(site_up, dtype=bool)
+    link_up = np.asarray(link_up, dtype=bool)
+    _validate_masks(topology, site_up, link_up)
+    if topology.n_links <= CSGRAPH_THRESHOLD:
+        return _labels_unionfind(topology, site_up, link_up)
+    return _labels_csgraph(topology, site_up, link_up)
+
+
+def _labels_csgraph(
+    topology: Topology,
+    site_up: np.ndarray,
+    link_up: np.ndarray,
+) -> np.ndarray:
+    n = topology.n_sites
+    u, v = topology.link_endpoint_arrays()
+    usable = link_up & site_up[u] & site_up[v]
+    uu, vv = u[usable], v[usable]
+    ones = np.ones(uu.shape[0], dtype=np.int8)
+    graph = coo_matrix((ones, (uu, vv)), shape=(n, n))
+    _, raw_labels = connected_components(graph, directed=False)
+
+    labels = np.full(n, DOWN_LABEL, dtype=np.int64)
+    up_idx = np.nonzero(site_up)[0]
+    # Re-map the raw labels of up sites onto 0..k-1; down sites keep -1.
+    # Down sites received their own singleton raw labels, which we discard.
+    raw_up = raw_labels[up_idx]
+    _, compact = np.unique(raw_up, return_inverse=True)
+    labels[up_idx] = compact
+    return labels
+
+
+def _labels_unionfind(
+    topology: Topology,
+    site_up: np.ndarray,
+    link_up: np.ndarray,
+) -> np.ndarray:
+    n = topology.n_sites
+    u, v = topology.link_endpoint_arrays()
+    usable = link_up & site_up[u] & site_up[v]
+    idx = np.nonzero(usable)[0]
+
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in zip(u[idx].tolist(), v[idx].tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    labels = np.full(n, DOWN_LABEL, dtype=np.int64)
+    next_label = 0
+    root_to_label: Dict[int, int] = {}
+    for site in np.nonzero(site_up)[0].tolist():
+        root = find(site)
+        label = root_to_label.get(root)
+        if label is None:
+            label = root_to_label[root] = next_label
+            next_label += 1
+        labels[site] = label
+    return labels
+
+
+class _UnionFind:
+    """Weighted quick-union with path halving."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+
+def components_unionfind(
+    topology: Topology,
+    site_up: np.ndarray,
+    link_up: np.ndarray,
+) -> np.ndarray:
+    """Reference union-find implementation of :func:`component_labels`.
+
+    Returns labels with the same contract (consecutive ids over up sites,
+    ``-1`` for down sites). Exists to cross-check the vectorized backend.
+    """
+    site_up = np.asarray(site_up, dtype=bool)
+    link_up = np.asarray(link_up, dtype=bool)
+    _validate_masks(topology, site_up, link_up)
+
+    n = topology.n_sites
+    uf = _UnionFind(n)
+    for link_id, link in enumerate(topology.links):
+        if link_up[link_id] and site_up[link.a] and site_up[link.b]:
+            uf.union(link.a, link.b)
+
+    labels = np.full(n, DOWN_LABEL, dtype=np.int64)
+    next_label = 0
+    root_to_label: Dict[int, int] = {}
+    for site in range(n):
+        if not site_up[site]:
+            continue
+        root = uf.find(site)
+        if root not in root_to_label:
+            root_to_label[root] = next_label
+            next_label += 1
+        labels[site] = root_to_label[root]
+    return labels
+
+
+def component_vote_totals(
+    labels: np.ndarray,
+    votes: np.ndarray,
+) -> np.ndarray:
+    """Per-site total votes of the component containing each site.
+
+    Down sites (label ``-1``) get zero votes — the paper's convention that
+    a down site is a member of a component of size zero.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    votes = np.asarray(votes, dtype=np.int64)
+    if labels.shape != votes.shape:
+        raise TopologyError(
+            f"labels shape {labels.shape} != votes shape {votes.shape}"
+        )
+    up = labels >= 0
+    n_components = int(labels.max()) + 1 if up.any() else 0
+    totals = np.zeros(n_components, dtype=np.int64)
+    np.add.at(totals, labels[up], votes[up])
+    out = np.zeros(labels.shape[0], dtype=np.int64)
+    out[up] = totals[labels[up]]
+    return out
+
+
+def votes_in_component_of(
+    topology: Topology,
+    site: int,
+    site_up: np.ndarray,
+    link_up: np.ndarray,
+) -> int:
+    """Total votes in the component containing ``site`` (0 if down)."""
+    if not 0 <= site < topology.n_sites:
+        raise TopologyError(f"unknown site {site}")
+    labels = component_labels(topology, site_up, link_up)
+    totals = component_vote_totals(labels, topology.votes)
+    return int(totals[site])
+
+
+def component_members(labels: np.ndarray) -> List[np.ndarray]:
+    """Group site ids by component: ``result[c]`` holds component ``c``'s sites.
+
+    Down sites are omitted; use ``labels == DOWN_LABEL`` to find them.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    up = labels >= 0
+    n_components = int(labels.max()) + 1 if up.any() else 0
+    order = np.argsort(labels[up], kind="stable")
+    up_sites = np.nonzero(up)[0][order]
+    sorted_labels = labels[up_sites]
+    boundaries = np.searchsorted(sorted_labels, np.arange(n_components + 1))
+    return [up_sites[boundaries[c]:boundaries[c + 1]] for c in range(n_components)]

@@ -1,0 +1,175 @@
+"""Mutable network state + lazy component tracking for the simulator.
+
+The discrete-event simulator flips one site or link per failure/recovery
+event and then needs, possibly many times before the next flip, the vector
+of per-site component vote totals. :class:`ComponentTracker` caches that
+vector and invalidates it on mutation, so the (vectorized, but still
+O(sites + links)) component recomputation runs exactly once per network
+change regardless of how many accesses land in the interval.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.connectivity.components import (
+    component_labels,
+    component_vote_totals,
+)
+from repro.errors import TopologyError
+from repro.topology.model import Topology
+
+__all__ = ["NetworkState", "ComponentTracker"]
+
+
+class NetworkState:
+    """Boolean up/down state for every site and link of a topology."""
+
+    __slots__ = ("topology", "site_up", "link_up", "_version")
+
+    def __init__(
+        self,
+        topology: Topology,
+        site_up: Optional[np.ndarray] = None,
+        link_up: Optional[np.ndarray] = None,
+    ) -> None:
+        self.topology = topology
+        if site_up is None:
+            self.site_up = np.ones(topology.n_sites, dtype=bool)
+        else:
+            self.site_up = np.array(site_up, dtype=bool)
+            if self.site_up.shape != (topology.n_sites,):
+                raise TopologyError(
+                    f"site_up must have shape ({topology.n_sites},), got {self.site_up.shape}"
+                )
+        if link_up is None:
+            self.link_up = np.ones(topology.n_links, dtype=bool)
+        else:
+            self.link_up = np.array(link_up, dtype=bool)
+            if self.link_up.shape != (topology.n_links,):
+                raise TopologyError(
+                    f"link_up must have shape ({topology.n_links},), got {self.link_up.shape}"
+                )
+        #: Monotone counter bumped on every mutation; lets caches detect staleness.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def set_site(self, site: int, up: bool) -> None:
+        """Set a site's state; no-op mutations still count as changes."""
+        if not 0 <= site < self.topology.n_sites:
+            raise TopologyError(f"unknown site {site}")
+        self.site_up[site] = up
+        self._version += 1
+
+    def set_link(self, link_id: int, up: bool) -> None:
+        """Set a link's state by link id."""
+        if not 0 <= link_id < self.topology.n_links:
+            raise TopologyError(f"unknown link id {link_id}")
+        self.link_up[link_id] = up
+        self._version += 1
+
+    def fail_site(self, site: int) -> None:
+        self.set_site(site, False)
+
+    def repair_site(self, site: int) -> None:
+        self.set_site(site, True)
+
+    def fail_link(self, link_id: int) -> None:
+        self.set_link(link_id, False)
+
+    def repair_link(self, link_id: int) -> None:
+        self.set_link(link_id, True)
+
+    def all_up(self) -> bool:
+        """True iff every site and every link is operational."""
+        return bool(self.site_up.all() and self.link_up.all())
+
+    def n_up_sites(self) -> int:
+        return int(self.site_up.sum())
+
+    def copy(self) -> "NetworkState":
+        return NetworkState(self.topology, self.site_up, self.link_up)
+
+
+class ComponentTracker:
+    """Caches component labels and vote totals for a :class:`NetworkState`.
+
+    All getters recompute lazily when the underlying state's version has
+    moved; between network changes they are O(1).
+
+    ``votes`` overrides the topology's vote vector — several trackers
+    with different vote vectors (one per replicated item) can share one
+    network state, which is how the multi-item database gives each item
+    its own quorum space over a single failure process.
+    """
+
+    __slots__ = ("state", "votes", "_cached_version", "_labels", "_vote_totals")
+
+    def __init__(self, state: NetworkState,
+                 votes: Optional[np.ndarray] = None) -> None:
+        self.state = state
+        if votes is None:
+            self.votes = state.topology.votes
+        else:
+            votes = np.asarray(votes, dtype=np.int64)
+            if votes.shape != (state.topology.n_sites,):
+                raise TopologyError(
+                    f"votes must have shape ({state.topology.n_sites},), "
+                    f"got {votes.shape}"
+                )
+            self.votes = votes
+        self._cached_version = -1
+        self._labels: Optional[np.ndarray] = None
+        self._vote_totals: Optional[np.ndarray] = None
+
+    def _refresh(self) -> None:
+        if self._cached_version == self.state.version:
+            return
+        topo = self.state.topology
+        self._labels = component_labels(topo, self.state.site_up, self.state.link_up)
+        self._vote_totals = component_vote_totals(self._labels, self.votes)
+        self._cached_version = self.state.version
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Component label per site (``-1`` for down sites)."""
+        self._refresh()
+        assert self._labels is not None
+        return self._labels
+
+    @property
+    def vote_totals(self) -> np.ndarray:
+        """Per-site votes of the containing component (0 for down sites)."""
+        self._refresh()
+        assert self._vote_totals is not None
+        return self._vote_totals
+
+    def votes_at(self, site: int) -> int:
+        """Votes in the component containing ``site``."""
+        return int(self.vote_totals[site])
+
+    def max_component_votes(self) -> int:
+        """Votes of the best-connected component (0 when all sites are down).
+
+        This is the quantity SURV-style metrics care about: *some* site can
+        access the item iff the largest component clears the quorum.
+        """
+        totals = self.vote_totals
+        return int(totals.max()) if totals.size else 0
+
+    def component_of(self, site: int) -> np.ndarray:
+        """Site ids of the component containing ``site`` (empty if down)."""
+        labels = self.labels
+        if labels[site] < 0:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(labels == labels[site])[0]
+
+    def same_component(self, a: int, b: int) -> bool:
+        """True iff up sites ``a`` and ``b`` can currently communicate."""
+        labels = self.labels
+        return labels[a] >= 0 and labels[a] == labels[b]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends raised by
+numpy or the standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "QuorumConstraintError",
+    "VoteAssignmentError",
+    "SimulationError",
+    "ProtocolError",
+    "DensityError",
+    "OptimizationError",
+    "SerializabilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed network topologies (bad sites, links, votes)."""
+
+
+class QuorumConstraintError(ReproError):
+    """Raised when a quorum assignment violates the consistency constraints.
+
+    The quorum consensus protocol requires ``q_r + q_w > T`` and
+    ``q_w > T / 2`` (paper, section 2.1). Any assignment failing either
+    condition could allow a stale read or two concurrent writes.
+    """
+
+
+class VoteAssignmentError(ReproError):
+    """Raised for invalid vote assignments (negative votes, wrong length)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is misconfigured."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a replica-control protocol is driven illegally.
+
+    Examples: installing a quorum reassignment from a component that does
+    not hold a write quorum under the old assignment, or asking a protocol
+    to evaluate an operation it does not know about.
+    """
+
+
+class DensityError(ReproError):
+    """Raised for invalid probability densities (negative mass, wrong size)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a quorum optimizer is given an empty or infeasible range."""
+
+
+class SerializabilityError(ReproError):
+    """Raised when the replicated database detects a consistency violation.
+
+    This should never fire when a valid quorum assignment is in force; it
+    exists so that tests can prove the protocol machinery actually enforces
+    one-copy serializability rather than assuming it.
+    """

@@ -1,0 +1,91 @@
+"""ASCII charts: render availability curves in a terminal.
+
+The paper's figures are line plots; in an offline/terminal reproduction
+the closest faithful artifact is a character raster. One glyph per
+curve, overlap marked with ``*``, y-axis in availability, x-axis in read
+quorum. Deliberately dependency-free (no matplotlib in this
+environment) and tested like any other renderer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.experiments.figures import FigureData
+
+__all__ = ["ascii_chart", "figure_chart"]
+
+#: Curve glyphs, assigned in series order.
+GLYPHS = "o+x#@%&="
+
+
+def ascii_chart(
+    series: Sequence[np.ndarray],
+    labels: Sequence[str],
+    width: int = 64,
+    height: int = 18,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    x_label: str = "q_r",
+    y_label: str = "A",
+) -> str:
+    """Render one or more equally-long curves as an ASCII raster.
+
+    Values are clipped to ``[y_min, y_max]``; x positions are spread
+    uniformly over the width.
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    if len(labels) != len(series):
+        raise ReproError(f"{len(series)} series but {len(labels)} labels")
+    if len(series) > len(GLYPHS):
+        raise ReproError(f"at most {len(GLYPHS)} series supported")
+    if width < 8 or height < 4:
+        raise ReproError("chart must be at least 8x4 characters")
+    if y_max <= y_min:
+        raise ReproError(f"need y_max > y_min, got [{y_min}, {y_max}]")
+    n_points = {np.asarray(s).shape[0] for s in series}
+    if len(n_points) != 1:
+        raise ReproError(f"series lengths differ: {sorted(n_points)}")
+    n = n_points.pop()
+    if n < 2:
+        raise ReproError("need at least two points per series")
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(0, width - 1, n).round().astype(int)
+    for glyph, curve in zip(GLYPHS, series):
+        values = np.clip(np.asarray(curve, dtype=float), y_min, y_max)
+        rows = ((y_max - values) / (y_max - y_min) * (height - 1)).round().astype(int)
+        for x, row in zip(xs, rows):
+            cell = grid[row][x]
+            grid[row][x] = glyph if cell in (" ", glyph) else "*"
+
+    gutter = max(len(f"{y_max:.2f}"), len(f"{y_min:.2f}"))
+    lines: List[str] = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = f"{y_max:.2f}"
+        elif r == height - 1:
+            tick = f"{y_min:.2f}"
+        elif r == (height - 1) // 2:
+            tick = f"{(y_min + y_max) / 2:.2f}"
+        else:
+            tick = ""
+        lines.append(f"{tick:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(" " * (gutter + 2) + f"{x_label} = 1 ... {x_label} = {n}"
+                 f"   (y: {y_label})")
+    legend = "   ".join(f"{g} {label}" for g, label in zip(GLYPHS, labels))
+    lines.append(" " * (gutter + 2) + legend + "   (* overlap)")
+    return "\n".join(lines)
+
+
+def figure_chart(data: FigureData, width: int = 64, height: int = 18) -> str:
+    """ASCII rendering of one paper figure (all alpha curves)."""
+    series = [s.availability for s in data.series]
+    labels = [f"a={s.alpha:g}" for s in data.series]
+    header = f"availability vs read quorum — {data.topology_name}"
+    return header + "\n" + ascii_chart(series, labels, width=width, height=height)

@@ -1,0 +1,183 @@
+"""One-call reproduction validation: do the paper's claims hold here, now?
+
+:func:`validate_reproduction` runs a fast battery of the paper's
+checkable structural claims (the same ones the benchmark harness asserts
+at larger scale) and returns a structured report. It exists so that a
+downstream user — or CI — can answer "is this installation faithful?"
+with one call or ``python -m repro validate``.
+
+Checks (all at a configurable scale):
+
+1. ring closed form == enumeration oracle (exact, small n);
+2. complete closed form == Monte-Carlo (statistical);
+3. simulator stationary density == ring closed form (full pipeline);
+4. availability at ``q_r = 1`` equals ``p * alpha`` (section 5.3);
+5. curves converge at ``q_r = floor(T/2)`` (section 5.3);
+6. sparse + read-heavy optimum at the left edge, dense + write-heavy at
+   majority (section 5.5);
+7. the write-floor constraint is respected and costs availability
+   (section 5.4);
+8. measured ACC stays below the site-reliability ceiling (section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analytic.complete import complete_density
+from repro.analytic.enumeration import enumerate_density
+from repro.analytic.montecarlo import montecarlo_density
+from repro.analytic.ring import ring_density
+from repro.experiments.paper import PAPER_RELIABILITY, ExperimentScale
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.bounds import site_reliability_acc_bound
+from repro.quorum.constraints import optimize_with_write_floor
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import fully_connected, ring
+
+__all__ = ["CheckResult", "ValidationReport", "validate_reproduction"]
+
+#: Default scale: 31-site networks, enough accesses for ~1% density noise.
+VALIDATION_SCALE = ExperimentScale(
+    name="validate",
+    n_sites=31,
+    warmup_accesses=0.0,
+    accesses_per_batch=40_000.0,
+    n_batches=2,
+    initial_state="stationary",
+)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """All check outcomes plus an overall verdict."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def add(self, name: str, passed: bool, detail: str) -> None:
+        self.checks.append(CheckResult(name, bool(passed), detail))
+
+    def __str__(self) -> str:
+        lines = [str(c) for c in self.checks]
+        verdict = "REPRODUCTION VALID" if self.passed else "REPRODUCTION BROKEN"
+        lines.append(f"=> {verdict} ({sum(c.passed for c in self.checks)}/"
+                     f"{len(self.checks)} checks)")
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> ValidationReport:
+    """Run the full check battery; see the module docstring for the list."""
+    scale = scale or VALIDATION_SCALE
+    p = r = PAPER_RELIABILITY
+    report = ValidationReport()
+
+    # 1. Ring closed form vs the exact enumeration oracle.
+    gap = float(np.abs(ring_density(6, 0.9, 0.8)
+                       - enumerate_density(ring(6), 0, 0.9, 0.8)).max())
+    report.add("ring closed form == enumeration oracle", gap < 1e-9,
+               f"max gap {gap:.2e}")
+
+    # 2. Complete closed form vs Monte-Carlo.
+    analytic = complete_density(scale.n_sites, p, r)
+    mc = montecarlo_density(fully_connected(scale.n_sites), 0, p, r,
+                            n_samples=4_000, seed=seed)
+    gap = float(np.abs(analytic - mc).max())
+    report.add("complete closed form == Monte-Carlo", gap < 0.05,
+               f"max gap {gap:.4f}")
+
+    # 3. Simulator stationary density vs ring closed form (full pipeline).
+    n = scale.n_sites
+    cfg = scale.config(0, alpha=0.5, seed=seed, topology=ring(n))
+    result = run_simulation(cfg, MajorityConsensusProtocol(n))
+    simulated = result.density_matrix("time").mean(axis=0)
+    expected = ring_density(n, p, r)
+    gap = float(np.abs(simulated - expected).max())
+    report.add("simulator density == ring closed form", gap < 0.04,
+               f"max gap {gap:.4f} (threshold 0.04 at this access budget)")
+
+    model = result.availability_model()
+
+    # 4. Left-edge identity: A(alpha, 1) = alpha * R(1) + (1-alpha) * W(T)
+    # with R(1) = p. (The paper quotes ".96 alpha" because W(101) is
+    # negligible at its scale; at n = 31 the write-all term is real, so
+    # we check the exact identity.)
+    w_all = float(np.asarray(model.write_availability_at(1)))
+    r1 = float(model.read_availability(1))
+    worst = 0.0
+    for alpha in (0.25, 0.5, 0.75, 1.0):
+        got = float(model.availability(alpha, 1))
+        worst = max(worst, abs(got - (alpha * r1 + (1 - alpha) * w_all)))
+    r1_dev = abs(r1 - p)
+    report.add("A(alpha, q_r=1) identity with R(1) = p",
+               worst < 1e-9 and r1_dev < 0.02,
+               f"identity residual {worst:.2e}, |R(1) - p| = {r1_dev:.4f}")
+
+    # 5. Convergence at the majority edge. The residual spread is exactly
+    # the one-vote gap R(floor(T/2)) - W(floor(T/2)+2) = f(q) + f(q+1),
+    # which the analytic density bounds; check against that, not a magic
+    # constant (the gap shrinks as T grows — 0.06 at n=31, 0.02 at 101).
+    edge = [float(model.curve(a)[-1]) for a in (0.0, 0.5, 1.0)]
+    spread = max(edge) - min(edge)
+    q = n // 2
+    analytic_gap = float(expected[q] + expected[q + 1])
+    report.add("curves converge at q_r = floor(T/2)",
+               spread < analytic_gap + 0.03,
+               f"spread {spread:.4f} vs analytic one-vote gap {analytic_gap:.4f}")
+
+    # 6. Regime placement (section 5.5) from analytic densities.
+    ring_model = AvailabilityModel(ring_density(101, p, r),
+                                   ring_density(101, p, r))
+    dense_model = AvailabilityModel(complete_density(101, p, r),
+                                    complete_density(101, p, r))
+    sparse_opt = optimal_read_quorum(ring_model, 0.9).read_quorum
+    dense_curve = dense_model.curve(0.25)
+    dense_majority_attains = float(dense_curve[-1]) >= float(dense_curve.max()) - 1e-9
+    ok = sparse_opt <= 3 and dense_majority_attains
+    report.add("5.5 regimes: sparse/read->left edge, dense/write->majority",
+               ok, f"ring-101@0.9 q*={sparse_opt}; complete-101@0.25 majority "
+                   f"attains max: {dense_majority_attains}")
+
+    # 7. Write floor respected and costly (section 5.4). A 101-site pure
+    # ring tops out at A_w ~ 0.075 (the paper's 20% example uses topology
+    # 2, which has chords); 5% is binding but feasible here.
+    floor = 0.05
+    free = optimal_read_quorum(ring_model, 0.9)
+    floored = optimize_with_write_floor(ring_model, 0.9, floor)
+    write = float(np.asarray(ring_model.write_availability_at(floored.read_quorum)))
+    ok = write >= floor and floored.availability <= free.availability + 1e-12
+    report.add("5.4 write floor respected and costs availability", ok,
+               f"A_w {write:.3f} >= {floor}; A {floored.availability:.3f} <= "
+               f"{free.availability:.3f}")
+
+    # 8. ACC ceiling (section 3).
+    ceiling = site_reliability_acc_bound(p)
+    measured = result.availability.mean
+    report.add("ACC <= site reliability", measured <= ceiling + 0.02,
+               f"{measured:.4f} <= {ceiling:.2f}")
+
+    return report

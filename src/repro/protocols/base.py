@@ -1,0 +1,61 @@
+"""Protocol interface shared by the simulator and the replication layer.
+
+A replica control protocol answers one question: *may this access proceed
+in the submitting site's current component?* The simulator asks it in
+bulk — one boolean per site per operation kind — so the interface is
+mask-based, with a scalar convenience wrapper. Dynamic protocols
+additionally react to network changes via :meth:`on_network_change`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker
+
+__all__ = ["ReplicaControlProtocol"]
+
+
+class ReplicaControlProtocol(ABC):
+    """Decides which sites may currently read or write the data item."""
+
+    #: Human-readable protocol name for reports.
+    name: str = "protocol"
+
+    @abstractmethod
+    def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-site grant decisions under the current network state.
+
+        Returns ``(read_mask, write_mask)``: boolean arrays over sites
+        where entry ``i`` says whether an access submitted at site ``i``
+        would be granted. A down site must be ``False`` in both masks
+        (the ACC metric counts submissions to down sites as denials).
+        """
+
+    def on_network_change(self, tracker: ComponentTracker) -> None:
+        """Hook invoked after every site/link failure or recovery.
+
+        Static protocols ignore it; the dynamic reassignment protocol uses
+        it to propagate new quorum assignments to sites that just merged
+        into a better-informed component.
+        """
+
+    def decide(self, site: int, is_read: bool, tracker: ComponentTracker) -> bool:
+        """Scalar form of :meth:`grant_masks` for one access."""
+        read_mask, write_mask = self.grant_masks(tracker)
+        mask = read_mask if is_read else write_mask
+        return bool(mask[site])
+
+    def survivability(self, tracker: ComponentTracker) -> Tuple[bool, bool]:
+        """SURV ingredients: does *some* site currently have read/write access?"""
+        read_mask, write_mask = self.grant_masks(tracker)
+        return bool(read_mask.any()), bool(write_mask.any())
+
+    def reset(self) -> None:
+        """Restore any protocol state to its initial value (new batch)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,112 @@
+"""Coterie-based replica control: strictly more general than voting.
+
+The paper's footnote 1: "Coteries provide a single mechanism, more
+general than voting, for specifying both vote assignments and quorum
+assignments". Garcia-Molina & Barbara proved that for six or more sites
+there exist coteries no vote assignment can express, so a coterie-native
+protocol is a real generalization, not a convenience wrapper.
+
+:class:`CoterieProtocol` grants a write at a site iff the site's
+component contains some group of the write coterie, and a read iff the
+component contains some *read group*. Safety requires:
+
+- write groups pairwise intersect (the :class:`~repro.quorum.coterie.Coterie`
+  constructor enforces this), and
+- every read group intersects every write group (checked here) — the
+  set-level form of ``q_r + q_w > T``.
+
+Vote-based quorum consensus is recovered exactly via
+:meth:`CoterieProtocol.from_votes`, and the tests verify the two
+implementations produce identical grant masks on random partitions.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker
+from repro.errors import ProtocolError, QuorumConstraintError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.quorum.coterie import Coterie, coterie_from_votes, read_groups_from_votes
+from repro.quorum.votes import VoteAssignment
+
+__all__ = ["CoterieProtocol"]
+
+
+class CoterieProtocol(ReplicaControlProtocol):
+    """Replica control from explicit read groups and a write coterie."""
+
+    def __init__(
+        self,
+        read_groups: Iterable[AbstractSet[int]],
+        write_coterie: Coterie,
+        n_sites: Optional[int] = None,
+    ) -> None:
+        groups = [frozenset(int(s) for s in g) for g in read_groups]
+        if not groups:
+            raise QuorumConstraintError("need at least one read group")
+        if any(not g for g in groups):
+            raise QuorumConstraintError("read groups must be non-empty")
+        # Set-level condition 1: every read sees the latest write.
+        for rg in groups:
+            for wg in write_coterie:
+                if not rg & wg:
+                    raise QuorumConstraintError(
+                        f"read group {sorted(rg)} misses write group "
+                        f"{sorted(wg)}: a read could return stale data"
+                    )
+        members = frozenset().union(*groups, *write_coterie.groups)
+        inferred = max(members) + 1
+        self.n_sites = int(n_sites) if n_sites is not None else inferred
+        if inferred > self.n_sites:
+            raise ProtocolError(
+                f"groups reference site {max(members)}, outside "
+                f"0..{self.n_sites - 1}"
+            )
+        self.read_groups: Tuple[frozenset, ...] = tuple(sorted(groups, key=sorted))
+        self.write_coterie = write_coterie
+        self.name = (
+            f"coterie(reads={len(self.read_groups)}, "
+            f"writes={len(write_coterie)})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_votes(
+        cls, votes: VoteAssignment, read_quorum: int, write_quorum: int
+    ) -> "CoterieProtocol":
+        """The coterie rendering of a vote-based quorum assignment."""
+        if read_quorum + write_quorum <= votes.total:
+            raise QuorumConstraintError(
+                f"need q_r + q_w > T, got {read_quorum} + {write_quorum} "
+                f"<= {votes.total}"
+            )
+        return cls(
+            read_groups_from_votes(votes, read_quorum),
+            coterie_from_votes(votes, write_quorum),
+            n_sites=votes.n_sites,
+        )
+
+    # ------------------------------------------------------------------
+    def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:
+        labels = tracker.labels
+        n = labels.shape[0]
+        if self.n_sites > n:
+            raise ProtocolError(
+                f"protocol covers {self.n_sites} sites but the network has {n}"
+            )
+        read_mask = np.zeros(n, dtype=bool)
+        write_mask = np.zeros(n, dtype=bool)
+        up = labels >= 0
+        if not up.any():
+            return read_mask, write_mask
+        for label in range(int(labels.max()) + 1):
+            members = frozenset(np.nonzero(labels == label)[0].tolist())
+            idx = np.asarray(sorted(members), dtype=np.int64)
+            if any(g <= members for g in self.read_groups):
+                read_mask[idx] = True
+            if self.write_coterie.permits(members):
+                write_mask[idx] = True
+        return read_mask, write_mask

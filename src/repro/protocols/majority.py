@@ -1,0 +1,23 @@
+"""Majority consensus (Thomas '79) as a quorum-consensus instance.
+
+The paper (section 2.1): with ``q_r = floor(T/2)`` and
+``q_w = floor(T/2) + 1`` the quorum consensus protocol is equivalent to
+majority consensus — reads and writes are treated (nearly) alike, which
+is the regime all of a topology's availability curves converge to at the
+right edge of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+
+__all__ = ["MajorityConsensusProtocol"]
+
+
+class MajorityConsensusProtocol(QuorumConsensusProtocol):
+    """Quorum consensus pinned to the majority assignment."""
+
+    def __init__(self, total_votes: int) -> None:
+        super().__init__(QuorumAssignment.majority(total_votes))
+        self.name = f"majority-consensus(T={total_votes})"

@@ -1,0 +1,46 @@
+"""The primary copy protocol (Alsberg & Day '76; paper, section 2.1).
+
+Accesses — reads and writes alike — are permitted only from the component
+containing a designated *primary site*. In vote terms this is the
+degenerate assignment placing all votes at the primary with
+``q_r = q_w = 1``; we implement it natively on component labels so it
+works unchanged alongside any uniform vote assignment the rest of a study
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker
+from repro.errors import ProtocolError
+from repro.protocols.base import ReplicaControlProtocol
+
+__all__ = ["PrimaryCopyProtocol"]
+
+
+class PrimaryCopyProtocol(ReplicaControlProtocol):
+    """Grant accesses only inside the primary site's component."""
+
+    def __init__(self, primary_site: int) -> None:
+        if primary_site < 0:
+            raise ProtocolError(f"primary site must be non-negative, got {primary_site}")
+        self.primary_site = int(primary_site)
+        self.name = f"primary-copy(primary={self.primary_site})"
+
+    def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:
+        labels = tracker.labels
+        n = labels.shape[0]
+        if self.primary_site >= n:
+            raise ProtocolError(
+                f"primary site {self.primary_site} outside network of {n} sites"
+            )
+        primary_label = labels[self.primary_site]
+        if primary_label < 0:
+            # Primary down: nobody may access the item.
+            mask = np.zeros(n, dtype=bool)
+        else:
+            mask = labels == primary_label
+        return mask, mask.copy()

@@ -1,0 +1,51 @@
+"""The quorum consensus protocol (Gifford '79; paper, section 2.1).
+
+When an access is submitted to a site, that site collects the votes of
+every site in its current component; a read proceeds iff the collected
+votes reach ``q_r``, a write iff they reach ``q_w``. Since the component
+tracker already exposes per-site component vote totals, the whole
+decision is two vectorized comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker
+from repro.errors import ProtocolError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.quorum.assignment import QuorumAssignment
+
+__all__ = ["QuorumConsensusProtocol"]
+
+
+class QuorumConsensusProtocol(ReplicaControlProtocol):
+    """Static quorum consensus with a fixed, validated assignment."""
+
+    def __init__(self, assignment: QuorumAssignment) -> None:
+        if not isinstance(assignment, QuorumAssignment):
+            raise ProtocolError(
+                f"expected a QuorumAssignment, got {type(assignment).__name__}"
+            )
+        self._assignment = assignment
+        self.name = f"quorum-consensus{assignment}"
+
+    @property
+    def assignment(self) -> QuorumAssignment:
+        return self._assignment
+
+    def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:
+        totals = tracker.vote_totals
+        tracker_total = int(tracker.votes.sum())
+        if tracker_total != self._assignment.total_votes:
+            raise ProtocolError(
+                f"assignment is for T={self._assignment.total_votes} votes but the "
+                f"network carries T={tracker_total}"
+            )
+        # Down sites have component total 0 < 1 <= q_r, so both masks are
+        # automatically False there.
+        read_mask = totals >= self._assignment.read_quorum
+        write_mask = totals >= self._assignment.write_quorum
+        return read_mask, write_mask

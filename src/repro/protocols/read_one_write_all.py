@@ -1,0 +1,22 @@
+"""Read-one/write-all as a quorum-consensus instance.
+
+``q_r = 1``, ``q_w = T`` (paper, section 2.1): any up site may read —
+giving availability exactly ``p * alpha`` regardless of topology, the
+paper's left-edge observation — while a write requires every vote in one
+component, i.e. every copy reachable.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+
+__all__ = ["ReadOneWriteAllProtocol"]
+
+
+class ReadOneWriteAllProtocol(QuorumConsensusProtocol):
+    """Quorum consensus pinned to ``q_r = 1``, ``q_w = T``."""
+
+    def __init__(self, total_votes: int) -> None:
+        super().__init__(QuorumAssignment.read_one_write_all(total_votes))
+        self.name = f"read-one-write-all(T={total_votes})"

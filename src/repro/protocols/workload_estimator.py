@@ -1,0 +1,112 @@
+"""On-line measurement of the workload parameters (Figure 1, step 1).
+
+The optimal-assignment algorithm assumes ``alpha`` (read fraction) and
+the per-site submission distributions ``r_i``, ``w_i`` are known; the
+paper notes they "are likely to be explicit in the model or can be
+directly measured by the system". This estimator is that measurement:
+count read and write submissions per site, with optional exponential
+forgetting so shifting access patterns (section 4.3) show up quickly.
+
+Smoothing: a symmetric pseudocount prior keeps early estimates sane
+(``alpha`` starts at 0.5, site weights start uniform) and guarantees the
+weight vectors stay strictly positive, which the availability model
+requires of probability vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["WorkloadEstimator"]
+
+
+class WorkloadEstimator:
+    """Per-site read/write submission counters with forgetting."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        forgetting_factor: float = 1.0,
+        pseudocount: float = 1.0,
+    ) -> None:
+        if n_sites <= 0:
+            raise SimulationError(f"need at least one site, got {n_sites}")
+        if not 0.0 < forgetting_factor <= 1.0:
+            raise SimulationError(
+                f"forgetting factor must be in (0, 1], got {forgetting_factor}"
+            )
+        if pseudocount <= 0:
+            raise SimulationError(f"pseudocount must be positive, got {pseudocount}")
+        self.n_sites = int(n_sites)
+        self.forgetting_factor = float(forgetting_factor)
+        self.pseudocount = float(pseudocount)
+        self._reads = np.zeros(self.n_sites, dtype=np.float64)
+        self._writes = np.zeros(self.n_sites, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def observe(self, site: int, is_read: bool, weight: float = 1.0) -> None:
+        """Record one submitted access (granted or not — submission is
+        what defines the workload)."""
+        if not 0 <= site < self.n_sites:
+            raise SimulationError(f"unknown site {site}")
+        if weight < 0:
+            raise SimulationError(f"weight must be non-negative, got {weight}")
+        self._decay()
+        (self._reads if is_read else self._writes)[site] += weight
+
+    def observe_counts(self, reads: np.ndarray, writes: np.ndarray) -> None:
+        """Record one epoch's per-site submission counts in bulk."""
+        reads = np.asarray(reads, dtype=np.float64)
+        writes = np.asarray(writes, dtype=np.float64)
+        if reads.shape != (self.n_sites,) or writes.shape != (self.n_sites,):
+            raise SimulationError(
+                f"counts must both have shape ({self.n_sites},), got "
+                f"{reads.shape} and {writes.shape}"
+            )
+        if (reads < 0).any() or (writes < 0).any():
+            raise SimulationError("counts must be non-negative")
+        self._decay()
+        self._reads += reads
+        self._writes += writes
+
+    def _decay(self) -> None:
+        if self.forgetting_factor < 1.0:
+            self._reads *= self.forgetting_factor
+            self._writes *= self.forgetting_factor
+
+    # ------------------------------------------------------------------
+    @property
+    def total_observed(self) -> float:
+        """Accumulated (post-decay) access mass, excluding pseudocounts."""
+        return float(self._reads.sum() + self._writes.sum())
+
+    @property
+    def alpha(self) -> float:
+        """Estimated read fraction (prior-smoothed toward 0.5)."""
+        r = self._reads.sum() + self.pseudocount
+        w = self._writes.sum() + self.pseudocount
+        return float(r / (r + w))
+
+    @property
+    def read_weights(self) -> np.ndarray:
+        """Estimated ``r_i`` (prior-smoothed toward uniform)."""
+        smoothed = self._reads + self.pseudocount / self.n_sites
+        return smoothed / smoothed.sum()
+
+    @property
+    def write_weights(self) -> np.ndarray:
+        """Estimated ``w_i`` (prior-smoothed toward uniform)."""
+        smoothed = self._writes + self.pseudocount / self.n_sites
+        return smoothed / smoothed.sum()
+
+    def snapshot(self) -> Tuple[float, np.ndarray, np.ndarray]:
+        """``(alpha, r_i, w_i)`` — exactly Figure 1 step 1's inputs."""
+        return self.alpha, self.read_weights, self.write_weights
+
+    def reset(self) -> None:
+        self._reads[:] = 0.0
+        self._writes[:] = 0.0

@@ -1,0 +1,65 @@
+"""The paper's core contribution: quorum machinery and optimal assignment.
+
+Layout:
+
+- :mod:`repro.quorum.votes` — vote assignments (uniform / weighted).
+- :mod:`repro.quorum.assignment` — :class:`QuorumAssignment` with the
+  consistency constraints of section 2.1 (``q_r + q_w > T``,
+  ``q_w > T/2``).
+- :mod:`repro.quorum.availability` — the Figure-1 algebra: mixing per-site
+  densities into ``r(v)``/``w(v)`` and evaluating
+  ``A(α, q_r) = α·R(q_r) + (1-α)·W(T-q_r+1)`` for one ``q_r`` or all of
+  them at once.
+- :mod:`repro.quorum.optimizer` — step 4 of Figure 1: exhaustive,
+  endpoint-first, integer golden-section, and continuous-Brent search for
+  the maximizing ``q_r``.
+- :mod:`repro.quorum.constraints` — the section 5.4 enhancements: weighted
+  availability ``A(ω, α, q)`` and optimization under a minimum write
+  throughput ``A_w``.
+- :mod:`repro.quorum.coterie` — the coterie view of quorum systems
+  (Garcia-Molina & Barbara) used to cross-check vote-based assignments.
+"""
+
+from repro.quorum.votes import VoteAssignment
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.availability import (
+    AvailabilityModel,
+    availability,
+    availability_curve,
+    read_availability,
+    write_availability,
+)
+from repro.quorum.optimizer import (
+    OptimizationResult,
+    optimal_read_quorum,
+    optimize_availability,
+)
+from repro.quorum.constraints import (
+    feasible_read_quorums,
+    optimize_with_write_floor,
+    weighted_availability,
+    weighted_availability_curve,
+)
+from repro.quorum.coterie import Coterie, coterie_from_votes
+from repro.quorum.vote_optimizer import VoteSearchResult, optimize_votes
+
+__all__ = [
+    "AvailabilityModel",
+    "Coterie",
+    "OptimizationResult",
+    "QuorumAssignment",
+    "VoteAssignment",
+    "VoteSearchResult",
+    "availability",
+    "availability_curve",
+    "coterie_from_votes",
+    "feasible_read_quorums",
+    "optimal_read_quorum",
+    "optimize_availability",
+    "optimize_votes",
+    "optimize_with_write_floor",
+    "read_availability",
+    "weighted_availability",
+    "weighted_availability_curve",
+    "write_availability",
+]

@@ -1,0 +1,106 @@
+"""Provable availability bounds (paper, section 3 and companion [15]).
+
+The paper states two structural facts about the metrics:
+
+- "the reliability of a single site is a lower bound for SURV, since
+  SURV is always realizable by a single copy, and an upper bound for
+  ACC, since at least the site at which the request originates must be
+  up";
+- within the quorum consensus family, the availability function is
+  pointwise dominated by taking the cheapest legal quorum for each
+  operation kind: reads at ``q_r = 1`` and writes at the smallest
+  write quorum consistency permits, ``q_w = floor(T/2) + 1``. No valid
+  ``(q_r, q_w)`` pair can beat both terms at once (condition 1 couples
+  them), so this is a strict upper envelope, not an achievable point.
+
+These are small functions, but they earn their keep in the test suite:
+every simulated protocol's measured ACC is checked against
+:func:`site_reliability_acc_bound`, and every optimizer result against
+:func:`quorum_consensus_upper_bound` — a cheap, independent sanity net
+over the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.quorum.availability import AvailabilityModel
+
+__all__ = [
+    "site_reliability_acc_bound",
+    "single_copy_surv_bound",
+    "quorum_consensus_upper_bound",
+    "replication_headroom",
+]
+
+
+def _check_alpha(alpha: float) -> float:
+    if not 0.0 <= alpha <= 1.0:
+        raise OptimizationError(f"alpha must be in [0, 1], got {alpha}")
+    return float(alpha)
+
+
+def site_reliability_acc_bound(site_reliability: float) -> float:
+    """Upper bound on ACC for *any* protocol: the submitting site must be up."""
+    if not 0.0 <= site_reliability <= 1.0:
+        raise OptimizationError(
+            f"site reliability must be in [0, 1], got {site_reliability}"
+        )
+    return float(site_reliability)
+
+
+def single_copy_surv_bound(site_reliability: float) -> float:
+    """Lower bound on achievable SURV: one unreplicated copy achieves this.
+
+    (A single copy at a site is accessible somewhere whenever that site
+    is up — no quorum machinery can be *forced* below it, though a bad
+    quorum assignment on a partitioned network certainly can be.)
+    """
+    if not 0.0 <= site_reliability <= 1.0:
+        raise OptimizationError(
+            f"site reliability must be in [0, 1], got {site_reliability}"
+        )
+    return float(site_reliability)
+
+
+def quorum_consensus_upper_bound(
+    model: AvailabilityModel, alpha: float
+) -> float:
+    """Pointwise upper envelope of ``A(alpha, q_r)`` over valid assignments.
+
+    ``alpha * R(1) + (1 - alpha) * W(floor(T/2) + 1)``: the best possible
+    read term and the best possible write term, which no single valid
+    assignment attains simultaneously (except degenerately at
+    ``T <= 2``). Every :func:`~repro.quorum.optimizer.optimal_read_quorum`
+    result is <= this.
+    """
+    alpha = _check_alpha(alpha)
+    T = model.total_votes
+    min_write_quorum = T // 2 + 1
+    from repro.quorum.availability import read_availability, write_availability
+
+    best_read = float(np.asarray(read_availability(model.read_density, 1)))
+    best_write = float(
+        np.asarray(write_availability(model.write_density, min_write_quorum))
+    )
+    return alpha * best_read + (1.0 - alpha) * best_write
+
+
+def replication_headroom(
+    model: AvailabilityModel, alpha: float, site_reliability: float
+) -> float:
+    """How far the best quorum assignment sits below the ACC ceiling.
+
+    ``site_reliability - max_q A(alpha, q_r)``: zero means replication
+    has extracted everything the metric allows (every curve in the
+    paper's dense-topology figures plateaus at exactly this ceiling);
+    large values quantify the partition penalty on sparse networks.
+    """
+    from repro.quorum.optimizer import optimal_read_quorum
+
+    best = optimal_read_quorum(model, alpha).availability
+    ceiling = site_reliability_acc_bound(site_reliability)
+    return ceiling - best

@@ -1,0 +1,204 @@
+"""Coteries: the set-system view of quorum consensus.
+
+A *coterie* (Garcia-Molina & Barbara, JACM 1985; paper footnote 1) over a
+site set ``U`` is a collection ``C`` of quorums (subsets of ``U``) such
+that
+
+- **intersection**: every two quorums share at least one site, and
+- **minimality**: no quorum contains another.
+
+Coteries subsume voting: the sets of sites whose votes total at least
+``q_w`` (with ``q_w > T/2``) form the quorum groups of a coterie once
+non-minimal groups are dropped. The paper's protocols are all vote-based,
+but the coterie view is the natural correctness oracle: the
+quorum-consensus safety argument is exactly "every read group intersects
+every write group, and write groups pairwise intersect" — properties this
+module checks explicitly, and which the test suite uses to validate
+:class:`~repro.quorum.assignment.QuorumAssignment` for many weighted vote
+vectors.
+
+Everything here is exponential in the number of sites and is intended for
+small systems (analysis, tests) — production code paths never enumerate
+coteries.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QuorumConstraintError, VoteAssignmentError
+from repro.quorum.votes import VoteAssignment
+
+__all__ = ["Coterie", "coterie_from_votes", "read_groups_from_votes"]
+
+#: Enumerating quorum groups is Θ(2^n); refuse beyond this many sites.
+MAX_SITES = 20
+
+Group = FrozenSet[int]
+
+
+class Coterie:
+    """An immutable, validated coterie."""
+
+    __slots__ = ("_groups", "_universe")
+
+    def __init__(self, groups: Iterable[AbstractSet[int]], universe: Optional[int] = None) -> None:
+        frozen: Tuple[Group, ...] = tuple(
+            sorted({frozenset(int(s) for s in g) for g in groups}, key=sorted)
+        )
+        if not frozen:
+            raise QuorumConstraintError("a coterie must contain at least one quorum group")
+        for group in frozen:
+            if not group:
+                raise QuorumConstraintError("quorum groups must be non-empty")
+        members = frozenset().union(*frozen)
+        if universe is None:
+            universe = max(members) + 1
+        if any(s < 0 or s >= universe for s in members):
+            raise QuorumConstraintError(
+                f"group member outside universe 0..{universe - 1}"
+            )
+        for g1, g2 in combinations(frozen, 2):
+            if not g1 & g2:
+                raise QuorumConstraintError(
+                    f"intersection property violated: {sorted(g1)} and {sorted(g2)} are disjoint"
+                )
+            if g1 < g2 or g2 < g1:
+                raise QuorumConstraintError(
+                    f"minimality violated: {sorted(g1)} vs {sorted(g2)}"
+                )
+        self._groups = frozen
+        self._universe = universe
+
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> Tuple[Group, ...]:
+        return self._groups
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    def __iter__(self) -> Iterator[Group]:
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, group: AbstractSet[int]) -> bool:
+        return frozenset(group) in set(self._groups)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coterie):
+            return NotImplemented
+        return set(self._groups) == set(other._groups)
+
+    def __hash__(self) -> int:
+        return hash(self._groups)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(str(sorted(g)) for g in self._groups[:4])
+        suffix = ", ..." if len(self._groups) > 4 else ""
+        return f"Coterie([{shown}{suffix}], universe={self._universe})"
+
+    # ------------------------------------------------------------------
+    def permits(self, component: AbstractSet[int]) -> bool:
+        """True iff ``component`` contains some quorum group.
+
+        This is the coterie-side statement of "the component holds a write
+        quorum of votes".
+        """
+        comp = frozenset(component)
+        return any(group <= comp for group in self._groups)
+
+    def dominates(self, other: "Coterie") -> bool:
+        """Garcia-Molina & Barbara domination: ``self`` dominates ``other``.
+
+        ``C`` dominates ``D`` iff ``C != D`` and every group of ``D`` is a
+        superset of some group of ``C``. A dominated coterie is strictly
+        worse: any component that could act under ``D`` can act under
+        ``C``, but not vice versa.
+        """
+        if self == other:
+            return False
+        return all(
+            any(mine <= theirs for mine in self._groups) for theirs in other._groups
+        )
+
+    def is_dominated(self) -> bool:
+        """True iff *some* coterie dominates this one (exhaustive check).
+
+        Uses the classical criterion: ``C`` is dominated iff there exists
+        a set ``H`` that (a) intersects every group of ``C`` but (b)
+        contains no group of ``C`` — then ``C + {H}`` (minimized)
+        dominates ``C``. Exponential; guarded by :data:`MAX_SITES`.
+        """
+        if self._universe > MAX_SITES:
+            raise QuorumConstraintError(
+                f"domination check is exponential; universe {self._universe} exceeds "
+                f"{MAX_SITES} sites"
+            )
+        sites = range(self._universe)
+        for size in range(1, self._universe + 1):
+            for candidate in combinations(sites, size):
+                h = frozenset(candidate)
+                intersects_all = all(h & g for g in self._groups)
+                contains_none = not any(g <= h for g in self._groups)
+                if intersects_all and contains_none:
+                    return True
+        return False
+
+
+def read_groups_from_votes(votes: VoteAssignment, read_quorum: int) -> Tuple[Group, ...]:
+    """Minimal site sets whose votes total at least ``read_quorum``.
+
+    Unlike write groups these need not pairwise intersect (read quorums
+    only intersect *write* quorums), so the result is a plain tuple of
+    groups rather than a :class:`Coterie`.
+    """
+    return _minimal_groups(votes, read_quorum)
+
+
+def _minimal_groups(votes: VoteAssignment, threshold: int) -> Tuple[Group, ...]:
+    if votes.n_sites > MAX_SITES:
+        raise VoteAssignmentError(
+            f"group enumeration is exponential; {votes.n_sites} sites exceeds {MAX_SITES}"
+        )
+    if threshold <= 0 or threshold > votes.total:
+        raise QuorumConstraintError(
+            f"vote threshold must be in 1..T={votes.total}, got {threshold}"
+        )
+    vote_arr = votes.votes
+    positive_sites = [s for s in range(votes.n_sites) if vote_arr[s] > 0]
+
+    groups: list[Group] = []
+    # Enumerate by increasing size so supersets of found groups can be
+    # skipped via the minimality test.
+    for size in range(1, len(positive_sites) + 1):
+        for combo in combinations(positive_sites, size):
+            if int(vote_arr[list(combo)].sum()) < threshold:
+                continue
+            candidate = frozenset(combo)
+            if any(g <= candidate for g in groups):
+                continue  # non-minimal
+            groups.append(candidate)
+    return tuple(sorted(groups, key=sorted))
+
+
+def coterie_from_votes(votes: VoteAssignment, write_quorum: int) -> Coterie:
+    """The coterie induced by a vote assignment and a write quorum.
+
+    Requires ``write_quorum > T/2`` so the resulting groups pairwise
+    intersect (two disjoint site sets cannot both hold a strict majority
+    of votes). The :class:`Coterie` constructor re-checks both coterie
+    properties, making this function an executable proof of the
+    section 2.1 safety argument for any concrete vote vector.
+    """
+    if 2 * write_quorum <= votes.total:
+        raise QuorumConstraintError(
+            f"write quorum must exceed T/2 = {votes.total / 2}, got {write_quorum}"
+        )
+    return Coterie(_minimal_groups(votes, write_quorum), universe=votes.n_sites)

@@ -1,0 +1,244 @@
+"""Vote assignment optimization for heterogeneous networks.
+
+The paper fixes a uniform one-vote-per-copy assignment (its topologies
+and reliabilities are symmetric) and optimizes the quorums; the related
+work it builds on (Cheung, Ahamad & Ammar, GIT-ICS-88/20) optimizes the
+*vote* assignment too. This module provides that companion optimization
+for the asymmetric cases the paper leaves open: given a topology with
+per-site reliabilities, find an integer vote vector (of fixed total) and
+the matching optimal quorums that maximize availability.
+
+The objective for a candidate vote vector ``w`` is
+``max_{q_r} A(alpha, q_r)`` under the component-vote density induced by
+``w`` — evaluated analytically where a closed form applies (trees) and
+by common-random-numbers Monte-Carlo otherwise (the same network-state
+sample set scores every candidate, so comparisons between candidates are
+low-variance even when each estimate is noisy).
+
+Two search strategies:
+
+- ``exhaustive`` — all compositions of ``total_votes`` over the sites
+  (tiny systems only; the ground truth for tests);
+- ``hillclimb`` — steepest-ascent over single-vote moves (shift one vote
+  from site a to site b), restarted from the uniform assignment; each
+  step re-uses the shared state sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.connectivity.components import component_labels
+from repro.errors import OptimizationError, VoteAssignmentError
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import OptimizationResult, optimal_read_quorum
+from repro.rng import RandomState, as_generator
+from repro.topology.model import Topology
+
+__all__ = ["VoteSearchResult", "optimize_votes", "availability_of_votes"]
+
+#: Exhaustive composition enumeration guard.
+MAX_EXHAUSTIVE_STATES = 200_000
+
+
+@dataclass(frozen=True)
+class VoteSearchResult:
+    """Outcome of a vote-assignment search."""
+
+    votes: Tuple[int, ...]
+    quorum: OptimizationResult
+    availability: float
+    method: str
+    candidates_evaluated: int
+
+    @property
+    def total_votes(self) -> int:
+        return int(sum(self.votes))
+
+
+class _StateSample:
+    """Common random numbers: one set of network states scores all vote vectors."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        p,
+        r,
+        n_samples: int,
+        seed: RandomState,
+    ) -> None:
+        rng = as_generator(seed)
+        site_rel = np.asarray(p, dtype=np.float64)
+        link_rel = np.asarray(r, dtype=np.float64)
+        if site_rel.ndim == 0:
+            site_rel = np.full(topology.n_sites, float(site_rel))
+        if link_rel.ndim == 0:
+            link_rel = np.full(topology.n_links, float(link_rel))
+        if site_rel.shape != (topology.n_sites,):
+            raise OptimizationError(
+                f"site reliability must be scalar or length {topology.n_sites}"
+            )
+        if link_rel.shape != (topology.n_links,):
+            raise OptimizationError(
+                f"link reliability must be scalar or length {topology.n_links}"
+            )
+        self.site_masks = rng.random((n_samples, topology.n_sites)) < site_rel
+        link_draws = rng.random((n_samples, topology.n_links))
+        self.labels = np.empty((n_samples, topology.n_sites), dtype=np.int64)
+        for k in range(n_samples):
+            self.labels[k] = component_labels(
+                topology, self.site_masks[k], link_draws[k] < link_rel
+            )
+        self.n_samples = n_samples
+        self.n_sites = topology.n_sites
+
+    def density_matrix(self, votes: np.ndarray) -> np.ndarray:
+        """Empirical per-site density of component votes under ``votes``."""
+        T = int(votes.sum())
+        counts = np.zeros((self.n_sites, T + 1), dtype=np.float64)
+        site_ids = np.arange(self.n_sites)
+        for k in range(self.n_samples):
+            labels = self.labels[k]
+            up = labels >= 0
+            totals = np.zeros(self.n_sites, dtype=np.int64)
+            if up.any():
+                n_comp = int(labels.max()) + 1
+                sums = np.zeros(n_comp, dtype=np.int64)
+                np.add.at(sums, labels[up], votes[up])
+                totals[up] = sums[labels[up]]
+            counts[site_ids, totals] += 1.0
+        return counts / self.n_samples
+
+
+def availability_of_votes(
+    sample: _StateSample,
+    votes: np.ndarray,
+    alpha: float,
+) -> Tuple[float, OptimizationResult]:
+    """Best-quorum availability of one vote vector on a shared sample."""
+    matrix = sample.density_matrix(votes)
+    model = AvailabilityModel.from_density_matrix(matrix)
+    result = optimal_read_quorum(model, alpha)
+    return result.availability, result
+
+
+def _compositions(total: int, parts: int):
+    """All non-negative integer vectors of length ``parts`` summing to ``total``."""
+    for dividers in combinations(range(total + parts - 1), parts - 1):
+        prev = -1
+        out = []
+        for d in dividers:
+            out.append(d - prev - 1)
+            prev = d
+        out.append(total + parts - 2 - prev)
+        yield out
+
+
+def optimize_votes(
+    topology: Topology,
+    alpha: float,
+    p,
+    r,
+    total_votes: Optional[int] = None,
+    method: str = "hillclimb",
+    n_samples: int = 2_000,
+    max_iterations: int = 50,
+    seed: RandomState = 0,
+) -> VoteSearchResult:
+    """Find a vote vector (and its optimal quorums) maximizing availability.
+
+    Parameters
+    ----------
+    topology:
+        The network; its current vote vector is ignored.
+    alpha:
+        Read fraction of the workload.
+    p, r:
+        Site / link reliabilities (scalars or vectors) defining the
+        failure model.
+    total_votes:
+        Vote budget ``T``; defaults to one per site.
+    method:
+        ``"hillclimb"`` (default) or ``"exhaustive"`` (tiny systems).
+    n_samples:
+        Network states in the common-random-numbers sample.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise OptimizationError(f"alpha must be in [0, 1], got {alpha}")
+    n = topology.n_sites
+    T = n if total_votes is None else int(total_votes)
+    if T <= 0:
+        raise VoteAssignmentError(f"vote budget must be positive, got {T}")
+
+    sample = _StateSample(topology, p, r, n_samples=n_samples, seed=seed)
+    evaluated = 0
+
+    def score(votes: np.ndarray) -> Tuple[float, OptimizationResult]:
+        nonlocal evaluated
+        evaluated += 1
+        return availability_of_votes(sample, votes, alpha)
+
+    if method == "exhaustive":
+        from math import comb
+
+        n_states = comb(T + n - 1, n - 1)
+        if n_states > MAX_EXHAUSTIVE_STATES:
+            raise OptimizationError(
+                f"exhaustive vote search over {n_states} compositions exceeds the "
+                f"{MAX_EXHAUSTIVE_STATES} cap; use method='hillclimb'"
+            )
+        best: Optional[Tuple[float, np.ndarray, OptimizationResult]] = None
+        for comp in _compositions(T, n):
+            votes = np.asarray(comp, dtype=np.int64)
+            if votes.sum() != T or (votes < 0).any() or votes.max() == 0:
+                continue
+            value, quorum = score(votes)
+            if best is None or value > best[0] + 1e-12:
+                best = (value, votes, quorum)
+        assert best is not None
+        value, votes, quorum = best
+        return VoteSearchResult(
+            tuple(int(v) for v in votes), quorum, value, "exhaustive", evaluated
+        )
+
+    if method != "hillclimb":
+        raise OptimizationError(
+            f"unknown method {method!r}; choose 'hillclimb' or 'exhaustive'"
+        )
+
+    # Hill-climb from (near-)uniform.
+    votes = np.full(n, T // n, dtype=np.int64)
+    votes[: T - int(votes.sum())] += 1
+    value, quorum = score(votes)
+    for _ in range(max_iterations):
+        improved = False
+        best_move: Optional[Tuple[float, int, int, OptimizationResult]] = None
+        for a in range(n):
+            if votes[a] == 0:
+                continue
+            for b in range(n):
+                if a == b:
+                    continue
+                votes[a] -= 1
+                votes[b] += 1
+                cand_value, cand_quorum = score(votes)
+                votes[a] += 1
+                votes[b] -= 1
+                if cand_value > value + 1e-12 and (
+                    best_move is None or cand_value > best_move[0]
+                ):
+                    best_move = (cand_value, a, b, cand_quorum)
+        if best_move is not None:
+            value, a, b, quorum = best_move
+            votes[a] -= 1
+            votes[b] += 1
+            improved = True
+        if not improved:
+            break
+    return VoteSearchResult(
+        tuple(int(v) for v in votes), quorum, value, "hillclimb", evaluated
+    )

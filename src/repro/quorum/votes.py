@@ -1,0 +1,100 @@
+"""Vote assignments for weighted voting (Gifford '79).
+
+Each copy of the replicated item carries a non-negative integer number of
+votes; quorums are expressed in votes, not copies, so an administrator can
+bias the system toward well-connected or reliable sites. The paper's
+evaluation uses the uniform one-vote-per-copy assignment (its topologies
+are symmetric), but the machinery is general.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import VoteAssignmentError
+
+__all__ = ["VoteAssignment"]
+
+
+class VoteAssignment:
+    """An immutable per-site vote vector."""
+
+    __slots__ = ("_votes",)
+
+    def __init__(self, votes: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(list(votes) if not isinstance(votes, np.ndarray) else votes,
+                         dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise VoteAssignmentError(
+                f"votes must be a non-empty 1-D sequence, got shape {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise VoteAssignmentError("votes must be non-negative")
+        if arr.sum() <= 0:
+            raise VoteAssignmentError("total votes T must be positive")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._votes = arr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, n_sites: int, votes_per_site: int = 1) -> "VoteAssignment":
+        """One vote (or ``votes_per_site``) at every site — the paper's default."""
+        if n_sites <= 0:
+            raise VoteAssignmentError(f"need at least one site, got {n_sites}")
+        if votes_per_site <= 0:
+            raise VoteAssignmentError(f"votes_per_site must be positive, got {votes_per_site}")
+        return cls(np.full(n_sites, votes_per_site, dtype=np.int64))
+
+    @classmethod
+    def single_site(cls, n_sites: int, site: int) -> "VoteAssignment":
+        """All votes at one site: the primary-copy degenerate assignment."""
+        if not 0 <= site < n_sites:
+            raise VoteAssignmentError(f"site {site} outside 0..{n_sites - 1}")
+        votes = np.zeros(n_sites, dtype=np.int64)
+        votes[site] = 1
+        return cls(votes)
+
+    # ------------------------------------------------------------------
+    @property
+    def votes(self) -> np.ndarray:
+        """Read-only int64 vote vector."""
+        return self._votes
+
+    @property
+    def n_sites(self) -> int:
+        return int(self._votes.shape[0])
+
+    @property
+    def total(self) -> int:
+        """``T``, the total number of votes."""
+        return int(self._votes.sum())
+
+    def votes_of(self, sites: Iterable[int]) -> int:
+        """Total votes held by a collection of sites (e.g. one component)."""
+        idx = np.fromiter((int(s) for s in sites), dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        if (idx < 0).any() or (idx >= self.n_sites).any():
+            raise VoteAssignmentError("site index out of range")
+        if np.unique(idx).size != idx.size:
+            raise VoteAssignmentError("duplicate site in vote query")
+        return int(self._votes[idx].sum())
+
+    def is_uniform(self) -> bool:
+        """True iff every site carries the same (positive) vote count."""
+        return bool((self._votes == self._votes[0]).all() and self._votes[0] > 0)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VoteAssignment):
+            return NotImplemented
+        return bool(np.array_equal(self._votes, other._votes))
+
+    def __hash__(self) -> int:
+        return hash(self._votes.tobytes())
+
+    def __repr__(self) -> str:
+        return f"VoteAssignment(n_sites={self.n_sites}, T={self.total})"

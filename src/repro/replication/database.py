@@ -1,0 +1,227 @@
+"""The replicated database: the data path over a replica-control protocol.
+
+:class:`ReplicatedDatabase` owns the per-site stores, a mutable network
+state, and a protocol instance; callers drive it with ``submit_read`` /
+``submit_write`` plus explicit failure/repair calls (or let the
+discrete-event simulator drive the network underneath). The execution
+model follows the paper's instantaneous-event semantics: no site or link
+changes state while an access is processing.
+
+**Read path.** If the protocol grants the read, the database returns the
+copy with the highest commit timestamp among replicas in the submitting
+site's component. Quorum intersection (``q_r + q_w > T``) guarantees this
+is the globally newest committed value — asserted, not assumed: a
+one-copy-serializability checker compares every granted read against the
+last granted write and raises :class:`~repro.errors.SerializabilityError`
+on any mismatch.
+
+**Write path.** If the protocol grants the write, a fresh commit
+timestamp is assigned and the new value installed at every replica in the
+component (a superset of a write quorum). ``q_w > T/2`` makes concurrent
+writes in disjoint components impossible — also asserted by the checker,
+which tracks commit timestamps globally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import ProtocolError, ReproError, SerializabilityError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.replication.item import ReplicatedItem
+from repro.replication.store import SiteStore
+from repro.replication.transaction import AccessOutcome, ReadResult, WriteResult
+from repro.topology.model import Topology
+
+__all__ = ["ReplicatedDatabase"]
+
+
+class ReplicatedDatabase:
+    """One replicated item served by a protocol over a fallible network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: ReplicaControlProtocol,
+        item: Optional[ReplicatedItem] = None,
+        initial_value: Any = None,
+        check_serializability: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.protocol = protocol
+        self.item = item or ReplicatedItem.fully_replicated("item", topology)
+        if not np.array_equal(self.item.votes_vector(topology.n_sites), topology.votes):
+            raise ProtocolError(
+                "item vote placement disagrees with the topology's vote vector; "
+                "build the topology with Topology.with_votes(item.votes_vector(n))"
+            )
+        self.check_serializability = check_serializability
+
+        self.state = NetworkState(topology)
+        self.tracker = ComponentTracker(self.state)
+        self.stores: Dict[int, SiteStore] = {}
+        for site in self.item.replica_sites:
+            store = SiteStore(site)
+            store.initialize(self.item.item_id, initial_value)
+            self.stores[site] = store
+
+        #: Monotone logical clock assigning commit timestamps.
+        self._clock = 0
+        #: (timestamp, value) of the last granted write, for the checker.
+        self._last_commit: Tuple[int, Any] = (0, initial_value)
+        #: Operation log for post-hoc analysis.
+        self.history: List[object] = []
+        self._time = 0.0
+
+        self.protocol.on_network_change(self.tracker)
+
+    # ------------------------------------------------------------------
+    # Network control (exposed so tests/examples can script partitions)
+    # ------------------------------------------------------------------
+    def _network_changed(self) -> None:
+        self.protocol.on_network_change(self.tracker)
+
+    def fail_site(self, site: int) -> None:
+        self.state.fail_site(site)
+        self._network_changed()
+
+    def repair_site(self, site: int) -> None:
+        self.state.repair_site(site)
+        self._network_changed()
+
+    def fail_link(self, a: int, b: int) -> None:
+        self.state.fail_link(self.topology.link_id(a, b))
+        self._network_changed()
+
+    def repair_link(self, a: int, b: int) -> None:
+        self.state.repair_link(self.topology.link_id(a, b))
+        self._network_changed()
+
+    def advance_time(self, dt: float) -> None:
+        """Move the logical wall clock (timestamps on results only)."""
+        if dt < 0:
+            raise ReproError(f"time must not run backwards, got dt={dt}")
+        self._time += dt
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _component_replicas(self, site: int) -> List[int]:
+        """Replica sites inside ``site``'s current component."""
+        members = self.tracker.component_of(site)
+        return [int(s) for s in members if self.item.holds_copy(int(s))]
+
+    def submit_read(self, site: int) -> ReadResult:
+        """Submit a read at ``site``; returns the outcome.
+
+        A granted read returns the newest copy visible in the component.
+        """
+        self._check_site(site)
+        if not self.state.site_up[site]:
+            result = ReadResult(AccessOutcome.SITE_DOWN, site, self._time)
+            self.history.append(result)
+            return result
+        votes = self.tracker.votes_at(site)
+        if not self.protocol.decide(site, is_read=True, tracker=self.tracker):
+            result = ReadResult(
+                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes
+            )
+            self.history.append(result)
+            return result
+
+        replicas = self._component_replicas(site)
+        if not replicas:
+            # A protocol granting a read in a replica-free component is
+            # broken (it saw >= q_r >= 1 votes, so some replica is there).
+            raise ProtocolError(
+                f"protocol granted a read at site {site} but its component "
+                "holds no replica"
+            )
+        newest = max(
+            (self.stores[r].read(self.item.item_id) for r in replicas),
+            key=lambda copy: copy.timestamp,
+        )
+        if self.check_serializability:
+            expected_ts, expected_value = self._last_commit
+            if newest.timestamp != expected_ts or newest.value != expected_value:
+                raise SerializabilityError(
+                    f"read at site {site} returned timestamp {newest.timestamp} "
+                    f"(value {newest.value!r}) but the last committed write is "
+                    f"timestamp {expected_ts} (value {expected_value!r}) — "
+                    "one-copy serializability violated"
+                )
+        result = ReadResult(
+            AccessOutcome.GRANTED,
+            site,
+            self._time,
+            value=newest.value,
+            timestamp=newest.timestamp,
+            component_votes=votes,
+        )
+        self.history.append(result)
+        return result
+
+    def submit_write(self, site: int, value: Any) -> WriteResult:
+        """Submit a write at ``site``; on grant, installs at all reachable replicas."""
+        self._check_site(site)
+        if not self.state.site_up[site]:
+            result = WriteResult(AccessOutcome.SITE_DOWN, site, self._time)
+            self.history.append(result)
+            return result
+        votes = self.tracker.votes_at(site)
+        if not self.protocol.decide(site, is_read=False, tracker=self.tracker):
+            result = WriteResult(
+                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes
+            )
+            self.history.append(result)
+            return result
+
+        replicas = self._component_replicas(site)
+        if not replicas:
+            raise ProtocolError(
+                f"protocol granted a write at site {site} but its component "
+                "holds no replica"
+            )
+        self._clock += 1
+        timestamp = self._clock
+        if self.check_serializability and timestamp <= self._last_commit[0]:
+            raise SerializabilityError(
+                f"write commit timestamp {timestamp} not newer than last commit "
+                f"{self._last_commit[0]} — concurrent writes slipped through"
+            )
+        for r in replicas:
+            self.stores[r].write(self.item.item_id, value, timestamp)
+        self._last_commit = (timestamp, value)
+        result = WriteResult(
+            AccessOutcome.GRANTED,
+            site,
+            self._time,
+            timestamp=timestamp,
+            updated_sites=tuple(replicas),
+            component_votes=votes,
+        )
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.topology.n_sites:
+            raise ReproError(f"unknown site {site}")
+
+    def copy_at(self, site: int):
+        """Inspect the raw copy at one replica site (tests/debugging)."""
+        if site not in self.stores:
+            raise ReproError(f"site {site} holds no replica")
+        return self.stores[site].read(self.item.item_id)
+
+    def grant_counts(self) -> Dict[str, int]:
+        """Tally of outcomes in the history, for quick availability checks."""
+        counts: Dict[str, int] = {}
+        for entry in self.history:
+            kind = "read" if isinstance(entry, ReadResult) else "write"
+            key = f"{kind}:{entry.outcome.value}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,270 @@
+"""Multi-item replicated database: per-item placement, votes, and quorums.
+
+A real distributed database replicates many items, and the Figure-1
+algorithm naturally tunes each item separately — a read-mostly catalog
+wants ``q_r = 1``, a write-heavy ledger wants majority, and partially
+replicated items carry their own vote geometry. This module composes
+the single-item machinery:
+
+- one shared :class:`~repro.connectivity.dynamic.NetworkState` (all
+  items see the same partitions);
+- per item: a vote vector, a replica-control protocol, a
+  :class:`~repro.connectivity.dynamic.ComponentTracker` with that item's
+  votes, per-site copies, and the one-copy-serializability checker;
+- multi-item transactions: an all-or-nothing group of reads/writes that
+  commits iff *every* touched item's quorum is satisfied at the
+  submitting site. Under the paper's instantaneous-event model no
+  failure can interleave with a transaction, so atomic commitment needs
+  no 2PC machinery — the decision is simply the conjunction of the
+  per-item decisions, evaluated against one frozen network state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import ProtocolError, ReproError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.replication.item import ReplicatedItem
+from repro.replication.store import SiteStore
+from repro.replication.transaction import AccessOutcome, ReadResult, WriteResult
+from repro.topology.model import Topology
+
+__all__ = ["ItemBinding", "TransactionResult", "MultiItemDatabase"]
+
+
+@dataclass(frozen=True)
+class ItemBinding:
+    """One item's configuration inside a multi-item database."""
+
+    item: ReplicatedItem
+    protocol: ReplicaControlProtocol
+    initial_value: Any = None
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of an all-or-nothing multi-item transaction."""
+
+    outcome: AccessOutcome
+    site: int
+    #: Per-item results, populated only when the transaction committed.
+    reads: Mapping[str, ReadResult] = None  # type: ignore[assignment]
+    writes: Mapping[str, WriteResult] = None  # type: ignore[assignment]
+    #: Item that caused the denial (None for SITE_DOWN or on commit).
+    blocking_item: Optional[str] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is AccessOutcome.GRANTED
+
+
+class MultiItemDatabase:
+    """Several replicated items over one fallible network."""
+
+    def __init__(self, topology: Topology, bindings: Sequence[ItemBinding]) -> None:
+        if not bindings:
+            raise ReproError("need at least one item binding")
+        ids = [b.item.item_id for b in bindings]
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate item ids in {ids}")
+        self.topology = topology
+        self.state = NetworkState(topology)
+
+        self._bindings: Dict[str, ItemBinding] = {}
+        self._trackers: Dict[str, ComponentTracker] = {}
+        self._stores: Dict[str, Dict[int, SiteStore]] = {}
+        self._clocks: Dict[str, int] = {}
+        self._last_commit: Dict[str, Tuple[int, Any]] = {}
+
+        for binding in bindings:
+            item = binding.item
+            votes = item.votes_vector(topology.n_sites)
+            tracker = ComponentTracker(self.state, votes=votes)
+            self._bindings[item.item_id] = binding
+            self._trackers[item.item_id] = tracker
+            stores: Dict[int, SiteStore] = {}
+            for site in item.replica_sites:
+                store = SiteStore(site)
+                store.initialize(item.item_id, binding.initial_value)
+                stores[site] = store
+            self._stores[item.item_id] = stores
+            self._clocks[item.item_id] = 0
+            self._last_commit[item.item_id] = (0, binding.initial_value)
+            binding.protocol.on_network_change(tracker)
+
+    # ------------------------------------------------------------------
+    @property
+    def item_ids(self) -> List[str]:
+        return list(self._bindings)
+
+    def tracker_for(self, item_id: str) -> ComponentTracker:
+        self._check_item(item_id)
+        return self._trackers[item_id]
+
+    def _check_item(self, item_id: str) -> None:
+        if item_id not in self._bindings:
+            raise ReproError(f"unknown item {item_id!r}")
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.topology.n_sites:
+            raise ReproError(f"unknown site {site}")
+
+    # ------------------------------------------------------------------
+    # Network control
+    # ------------------------------------------------------------------
+    def _network_changed(self) -> None:
+        for item_id, binding in self._bindings.items():
+            binding.protocol.on_network_change(self._trackers[item_id])
+
+    def fail_site(self, site: int) -> None:
+        self.state.fail_site(site)
+        self._network_changed()
+
+    def repair_site(self, site: int) -> None:
+        self.state.repair_site(site)
+        self._network_changed()
+
+    def fail_link(self, a: int, b: int) -> None:
+        self.state.fail_link(self.topology.link_id(a, b))
+        self._network_changed()
+
+    def repair_link(self, a: int, b: int) -> None:
+        self.state.repair_link(self.topology.link_id(a, b))
+        self._network_changed()
+
+    # ------------------------------------------------------------------
+    # Per-item decisions and data path
+    # ------------------------------------------------------------------
+    def _decide(self, item_id: str, site: int, is_read: bool) -> bool:
+        binding = self._bindings[item_id]
+        return binding.protocol.decide(site, is_read, self._trackers[item_id])
+
+    def _component_replicas(self, item_id: str, site: int) -> List[int]:
+        item = self._bindings[item_id].item
+        members = self._trackers[item_id].component_of(site)
+        return [int(s) for s in members if item.holds_copy(int(s))]
+
+    def _execute_read(self, item_id: str, site: int) -> ReadResult:
+        tracker = self._trackers[item_id]
+        replicas = self._component_replicas(item_id, site)
+        if not replicas:
+            raise ProtocolError(
+                f"protocol granted a read of {item_id!r} at site {site} but the "
+                "component holds no replica"
+            )
+        newest = max(
+            (self._stores[item_id][rep].read(item_id) for rep in replicas),
+            key=lambda copy: copy.timestamp,
+        )
+        expected_ts, expected_value = self._last_commit[item_id]
+        if newest.timestamp != expected_ts or newest.value != expected_value:
+            from repro.errors import SerializabilityError
+
+            raise SerializabilityError(
+                f"read of {item_id!r} at site {site} returned timestamp "
+                f"{newest.timestamp} but the last commit is {expected_ts}"
+            )
+        return ReadResult(
+            AccessOutcome.GRANTED, site, 0.0,
+            value=newest.value, timestamp=newest.timestamp,
+            component_votes=int(tracker.vote_totals[site]),
+        )
+
+    def _execute_write(self, item_id: str, site: int, value: Any) -> WriteResult:
+        tracker = self._trackers[item_id]
+        replicas = self._component_replicas(item_id, site)
+        if not replicas:
+            raise ProtocolError(
+                f"protocol granted a write of {item_id!r} at site {site} but the "
+                "component holds no replica"
+            )
+        self._clocks[item_id] += 1
+        timestamp = self._clocks[item_id]
+        for rep in replicas:
+            self._stores[item_id][rep].write(item_id, value, timestamp)
+        self._last_commit[item_id] = (timestamp, value)
+        return WriteResult(
+            AccessOutcome.GRANTED, site, 0.0,
+            timestamp=timestamp, updated_sites=tuple(replicas),
+            component_votes=int(tracker.vote_totals[site]),
+        )
+
+    def read(self, item_id: str, site: int) -> ReadResult:
+        """Single-item read (a one-read transaction)."""
+        result = self.transaction(site, reads=[item_id])
+        if result.committed:
+            return result.reads[item_id]
+        return ReadResult(result.outcome, site, 0.0)
+
+    def write(self, item_id: str, site: int, value: Any) -> WriteResult:
+        """Single-item write (a one-write transaction)."""
+        result = self.transaction(site, writes={item_id: value})
+        if result.committed:
+            return result.writes[item_id]
+        return WriteResult(result.outcome, site, 0.0)
+
+    def transaction(
+        self,
+        site: int,
+        reads: Sequence[str] = (),
+        writes: Optional[Mapping[str, Any]] = None,
+    ) -> TransactionResult:
+        """All-or-nothing multi-item transaction submitted at ``site``.
+
+        Commits iff the submitting site is up and *every* touched item's
+        protocol grants its operation in the current (frozen) network
+        state; otherwise nothing is applied and the blocking item is
+        reported.
+        """
+        writes = dict(writes or {})
+        self._check_site(site)
+        read_ids = list(reads)
+        for item_id in read_ids + list(writes):
+            self._check_item(item_id)
+        if not read_ids and not writes:
+            raise ReproError("a transaction must touch at least one item")
+        overlap = set(read_ids) & set(writes)
+        if overlap:
+            raise ReproError(
+                f"items {sorted(overlap)} appear as both read and write; "
+                "a write subsumes the read"
+            )
+
+        if not self.state.site_up[site]:
+            return TransactionResult(AccessOutcome.SITE_DOWN, site)
+
+        # Decision phase: conjunction over all touched items.
+        for item_id in read_ids:
+            if not self._decide(item_id, site, is_read=True):
+                return TransactionResult(
+                    AccessOutcome.NO_QUORUM, site, blocking_item=item_id
+                )
+        for item_id in writes:
+            if not self._decide(item_id, site, is_read=False):
+                return TransactionResult(
+                    AccessOutcome.NO_QUORUM, site, blocking_item=item_id
+                )
+
+        # Execution phase: no event can interleave (instantaneous model),
+        # so applying sequentially is atomic.
+        read_results = {i: self._execute_read(i, site) for i in read_ids}
+        write_results = {
+            i: self._execute_write(i, site, value) for i, value in writes.items()
+        }
+        return TransactionResult(
+            AccessOutcome.GRANTED, site, reads=read_results, writes=write_results
+        )
+
+    # ------------------------------------------------------------------
+    def copy_at(self, item_id: str, site: int):
+        """Inspect one raw copy (tests/debugging)."""
+        self._check_item(item_id)
+        stores = self._stores[item_id]
+        if site not in stores:
+            raise ReproError(f"site {site} holds no replica of {item_id!r}")
+        return stores[site].read(item_id)

@@ -1,0 +1,63 @@
+"""Steady-state discrete event simulator (paper, section 5.2).
+
+The simulated system follows the paper's model exactly (section 5.1):
+sites and bi-directional links fail and recover as independent
+alternating exponential (Poisson) processes; failures partition the
+network; access requests arrive as per-site Poisson streams, each a read
+with probability ``alpha``; all events are instantaneous.
+
+Architecture: the engine advances from one *network epoch* to the next —
+an epoch being the interval between consecutive failure/recovery events,
+during which the component partition is constant. Per epoch it asks the
+replica-control protocol for its per-site grant masks once, then accounts
+for every access in the epoch either by **sampling** the Poisson counts
+exactly (statistically identical to simulating each access as its own
+event, by Poisson splitting) or by the **expected-value** estimator that
+integrates the closed-form conditional grant probability over the epoch
+(a variance-reduction technique; DESIGN.md, "Two availability
+estimators").
+
+Public surface:
+
+- :class:`SimulationConfig` — all knobs, with the paper's defaults;
+- :func:`simulate_batch` / :class:`SimulationEngine` — one batch;
+- :func:`run_simulation` — warm-up + batches + Student-t confidence
+  intervals, the paper's batch-means methodology;
+- :class:`AccessWorkload` — uniform / zipf / hotspot / custom access
+  distributions with a read fraction;
+- :class:`FailureProcesses` — the per-component up/down processes.
+"""
+
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.processes import FailureProcesses, reliability_to_repair_time
+from repro.simulation.workload import AccessWorkload, PhasedWorkload
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import BatchResult, SimulationEngine, simulate_batch
+from repro.simulation.stats import (
+    BatchStatistics,
+    confidence_interval,
+    student_t_half_width,
+)
+from repro.simulation.runner import SimulationResult, run_simulation
+from repro.simulation.trace import NetworkTrace, TraceReplayer
+
+__all__ = [
+    "AccessWorkload",
+    "BatchResult",
+    "BatchStatistics",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FailureProcesses",
+    "NetworkTrace",
+    "PhasedWorkload",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "TraceReplayer",
+    "confidence_interval",
+    "reliability_to_repair_time",
+    "run_simulation",
+    "simulate_batch",
+    "student_t_half_width",
+]

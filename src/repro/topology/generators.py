@@ -1,0 +1,206 @@
+"""Topology generators for every network family used in the paper.
+
+All generators return immutable :class:`~repro.topology.model.Topology`
+objects with the paper's default uniform one-vote-per-site assignment
+(override with :meth:`Topology.with_votes`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.rng import RandomState, as_generator
+from repro.topology.chords import chord_endpoints, max_chords
+from repro.topology.model import Link, Topology
+
+__all__ = [
+    "ring",
+    "ring_with_chords",
+    "fully_connected",
+    "star",
+    "bus",
+    "grid",
+    "random_tree",
+    "erdos_renyi",
+    "paper_topology",
+    "PAPER_CHORD_COUNTS",
+]
+
+#: The chord counts of the paper's seven evaluated topologies (section 5.1).
+PAPER_CHORD_COUNTS: Tuple[int, ...] = (0, 1, 2, 4, 16, 256, 4949)
+
+
+def ring(n_sites: int, votes: Optional[Sequence[int]] = None) -> Topology:
+    """A simple cycle over ``n_sites`` sites (the paper's base topology).
+
+    A ring is the sparsest 2-edge-connected topology: it is "completely
+    connected with the minimum number of links necessary to guarantee at
+    least two disjoint paths between every pair of sites" (section 5.1).
+    """
+    if n_sites < 3:
+        raise TopologyError(f"a ring needs at least 3 sites, got {n_sites}")
+    links = [(i, (i + 1) % n_sites) for i in range(n_sites)]
+    return Topology(n_sites, links, votes=votes, name=f"ring-{n_sites}")
+
+
+def ring_with_chords(
+    n_sites: int,
+    n_chords: int,
+    votes: Optional[Sequence[int]] = None,
+) -> Topology:
+    """The paper's "Topology i": an ``n_sites`` ring plus ``i`` chords.
+
+    Chord placement follows the deterministic maximally-spread rule in
+    :mod:`repro.topology.chords` (see DESIGN.md for the substitution note —
+    the paper defers exact placement to its companion paper [14]).
+    """
+    base = ring(n_sites, votes=votes)
+    if n_chords == 0:
+        return base.with_name(f"topology-0(ring-{n_sites})")
+    chords = chord_endpoints(n_sites, n_chords)
+    return base.add_links(chords).with_name(f"topology-{n_chords}(ring-{n_sites})")
+
+
+def fully_connected(n_sites: int, votes: Optional[Sequence[int]] = None) -> Topology:
+    """A complete graph: every pair of sites shares a link."""
+    if n_sites < 1:
+        raise TopologyError(f"need at least one site, got {n_sites}")
+    links = [(i, j) for i in range(n_sites) for j in range(i + 1, n_sites)]
+    return Topology(n_sites, links, votes=votes, name=f"complete-{n_sites}")
+
+
+def star(n_sites: int, hub: int = 0, votes: Optional[Sequence[int]] = None) -> Topology:
+    """A star: every non-hub site links only to ``hub``."""
+    if n_sites < 2:
+        raise TopologyError(f"a star needs at least 2 sites, got {n_sites}")
+    if not 0 <= hub < n_sites:
+        raise TopologyError(f"hub {hub} outside 0..{n_sites - 1}")
+    links = [(hub, s) for s in range(n_sites) if s != hub]
+    return Topology(n_sites, links, votes=votes, name=f"star-{n_sites}")
+
+
+def bus(n_sites: int, votes: Optional[Sequence[int]] = None) -> Topology:
+    """A single-bus network, modelled as a star through a zero-vote hub.
+
+    The paper's bus (section 4.2) is a shared medium with reliability
+    ``r``: when the bus is up, all up sites communicate; when it is down,
+    sites are isolated. We model the bus itself as an extra hub site that
+    carries **zero votes** whose up/down state plays the role of the bus,
+    and whose links to the real sites are perfectly reliable (the
+    simulator lets per-component reliabilities express that). Site ids
+    ``0..n_sites-1`` are the real sites; the hub is site ``n_sites``.
+    """
+    if n_sites < 1:
+        raise TopologyError(f"a bus needs at least 1 site, got {n_sites}")
+    hub = n_sites
+    links = [(s, hub) for s in range(n_sites)]
+    if votes is None:
+        vote_list = [1] * n_sites + [0]
+    else:
+        vote_list = list(votes)
+        if len(vote_list) == n_sites:
+            vote_list = vote_list + [0]
+        elif len(vote_list) != n_sites + 1:
+            raise TopologyError(
+                f"bus votes must cover the {n_sites} sites (hub gets 0), got {len(vote_list)}"
+            )
+    return Topology(n_sites + 1, links, votes=vote_list, name=f"bus-{n_sites}")
+
+
+def grid(rows: int, cols: int, votes: Optional[Sequence[int]] = None) -> Topology:
+    """A ``rows x cols`` 4-neighbour mesh."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid dimensions must be positive, got {rows}x{cols}")
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            site = r * cols + c
+            if c + 1 < cols:
+                links.append((site, site + 1))
+            if r + 1 < rows:
+                links.append((site, site + cols))
+    return Topology(rows * cols, links, votes=votes, name=f"grid-{rows}x{cols}")
+
+
+def random_tree(n_sites: int, seed: RandomState = None,
+                votes: Optional[Sequence[int]] = None) -> Topology:
+    """A uniformly random labelled tree (random attachment)."""
+    if n_sites < 1:
+        raise TopologyError(f"need at least one site, got {n_sites}")
+    rng = as_generator(seed)
+    links = [(int(rng.integers(0, s)), s) for s in range(1, n_sites)]
+    return Topology(n_sites, links, votes=votes, name=f"tree-{n_sites}")
+
+
+def erdos_renyi(
+    n_sites: int,
+    edge_probability: float,
+    seed: RandomState = None,
+    votes: Optional[Sequence[int]] = None,
+    ensure_connected: bool = False,
+) -> Topology:
+    """A G(n, p) random graph; optionally patched to be connected.
+
+    ``ensure_connected`` adds the cheapest possible patch — a spanning
+    chain over the components' representatives — so tests that need a
+    connected baseline can ask for one without rejection sampling.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TopologyError(f"edge probability must be in [0, 1], got {edge_probability}")
+    rng = as_generator(seed)
+    n_pairs = n_sites * (n_sites - 1) // 2
+    mask = rng.random(n_pairs) < edge_probability
+    links = []
+    k = 0
+    for i in range(n_sites):
+        for j in range(i + 1, n_sites):
+            if mask[k]:
+                links.append((i, j))
+            k += 1
+    topo = Topology(n_sites, links, votes=votes, name=f"gnp-{n_sites}-{edge_probability:g}")
+    if ensure_connected and not topo.is_connected():
+        topo = _patch_connected(topo)
+    return topo
+
+
+def _patch_connected(topo: Topology) -> Topology:
+    """Chain together the connected components of ``topo``."""
+    representatives = []
+    seen: set[int] = set()
+    for site in topo.sites():
+        if site in seen:
+            continue
+        representatives.append(site)
+        stack = [site]
+        seen.add(site)
+        while stack:
+            cur = stack.pop()
+            for nbr in topo.neighbors(cur):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+    extra = [
+        (representatives[i], representatives[i + 1])
+        for i in range(len(representatives) - 1)
+    ]
+    return topo.add_links(extra).with_name(topo.name + "+patch")
+
+
+def paper_topology(chords: int, n_sites: int = 101,
+                   votes: Optional[Sequence[int]] = None) -> Topology:
+    """One of the paper's evaluated topologies.
+
+    ``chords`` is the paper's topology index: a 101-site ring plus that
+    many chords; 4949 chords makes the network fully connected
+    (``101*100/2 - 101 = 4949``).
+    """
+    if chords == max_chords(n_sites) + 0 and n_sites * (n_sites - 3) // 2 == chords:
+        # Requesting every chord: build the complete graph directly, which
+        # is both faster and self-documenting.
+        return fully_connected(n_sites, votes=votes).with_name(
+            f"topology-{chords}(complete-{n_sites})"
+        )
+    return ring_with_chords(n_sites, chords, votes=votes)

@@ -1,0 +1,149 @@
+"""Closed-form densities validated against the exact enumeration oracle.
+
+These are the library's strongest correctness tests: three independent
+derivations of f_i (closed form, exhaustive enumeration, and — in
+test_montecarlo — sampling) must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bus import bus_density
+from repro.analytic.complete import complete_density, complete_density_matrix
+from repro.analytic.enumeration import enumerate_density
+from repro.analytic.ring import ring_density, ring_density_matrix
+from repro.errors import DensityError, TopologyError
+from repro.topology.generators import bus, fully_connected, ring
+
+
+class TestRingDensity:
+    @pytest.mark.parametrize("p,r", [(0.9, 0.8), (0.96, 0.96), (0.5, 0.7), (1.0, 0.6), (0.7, 1.0)])
+    def test_matches_enumeration(self, p, r):
+        n = 5
+        expected = enumerate_density(ring(n), 0, p, r)
+        got = ring_density(n, p, r)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_symmetry_across_sites(self):
+        topo = ring(5)
+        matrix = np.stack([enumerate_density(topo, s, 0.8, 0.9) for s in range(5)])
+        assert np.allclose(matrix, matrix[0])
+
+    def test_mass_sums_to_one(self):
+        assert ring_density(51, 0.96, 0.96).sum() == pytest.approx(1.0)
+
+    def test_down_probability(self):
+        assert ring_density(7, 0.9, 0.5)[0] == pytest.approx(0.1)
+
+    def test_perfect_components_all_mass_at_n(self):
+        f = ring_density(9, 1.0, 1.0)
+        assert f[9] == pytest.approx(1.0)
+
+    def test_minimum_ring_size(self):
+        with pytest.raises(TopologyError):
+            ring_density(2, 0.9, 0.9)
+
+    def test_bad_reliability(self):
+        with pytest.raises(DensityError):
+            ring_density(5, 1.1, 0.9)
+
+    def test_matrix_requires_ring(self):
+        with pytest.raises(TopologyError):
+            ring_density_matrix(fully_connected(5), 0.9, 0.9)
+
+    def test_matrix_shape(self):
+        m = ring_density_matrix(ring(6), 0.9, 0.9)
+        assert m.shape == (6, 7)
+        assert np.allclose(m, m[0])
+
+
+class TestCompleteDensity:
+    @pytest.mark.parametrize("p,r", [(0.9, 0.8), (0.96, 0.96), (0.6, 0.4), (1.0, 0.5), (0.8, 1.0)])
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_enumeration(self, n, p, r):
+        expected = enumerate_density(fully_connected(n), 0, p, r)
+        got = complete_density(n, p, r)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_single_site(self):
+        f = complete_density(1, 0.9, 0.5)
+        assert f[0] == pytest.approx(0.1)
+        assert f[1] == pytest.approx(0.9)
+
+    def test_mass_sums_to_one_large(self):
+        assert complete_density(101, 0.96, 0.96).sum() == pytest.approx(1.0)
+
+    def test_reliable_network_concentrates_high(self):
+        f = complete_density(50, 0.96, 0.96)
+        # Nearly all conditional-up mass at large components.
+        assert f[45:].sum() > 0.9
+
+    def test_unreliable_links_fragment(self):
+        f = complete_density(10, 0.95, 0.05)
+        assert f[1] > f[9]
+
+    def test_matrix_requires_complete(self):
+        with pytest.raises(TopologyError):
+            complete_density_matrix(ring(5), 0.9, 0.9)
+
+
+class TestBusDensity:
+    def _bus_oracle(self, n, p, r, sites_need_bus):
+        """Enumerate the star-with-perfect-spokes encoding of the bus."""
+        topo = bus(n)  # hub = site n, zero votes
+        site_rel = np.full(n + 1, p)
+        site_rel[n] = r  # the hub plays the bus
+        link_rel = np.ones(topo.n_links)  # perfect spokes
+        from repro.analytic.enumeration import enumerate_density_matrix
+
+        matrix = enumerate_density_matrix(topo, site_rel, link_rel)
+        f = matrix[0].copy()
+        if sites_need_bus:
+            # Architecture: a site with the bus down counts as size 0.
+            # In the star encoding an up site with the hub down shows as a
+            # singleton of 1 vote; move that conditional mass to v=0? No —
+            # with sites_need_bus the *site itself* stops functioning, so
+            # the singleton mass belongs at v=0.
+            # Singleton mass from "site up, bus down" = p*(1-r).
+            f[0] += p * (1.0 - r)
+            f[1] -= p * (1.0 - r)
+        return f
+
+    @pytest.mark.parametrize("p,r", [(0.9, 0.8), (0.96, 0.96), (0.5, 0.5)])
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_variant_independent_sites_matches_star_encoding(self, n, p, r):
+        expected = self._bus_oracle(n, p, r, sites_need_bus=False)
+        got = bus_density(n, p, r, sites_need_bus=False)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("p,r", [(0.9, 0.8), (0.96, 0.96)])
+    def test_variant_dependent_sites_matches_star_encoding(self, p, r):
+        n = 4
+        expected = self._bus_oracle(n, p, r, sites_need_bus=True)
+        got = bus_density(n, p, r, sites_need_bus=True)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_dependent_variant_paper_formula(self):
+        # f_i(v) = C(n-1, v-1) r p^v (1-p)^{n-v}
+        n, p, r = 5, 0.9, 0.7
+        f = bus_density(n, p, r, sites_need_bus=True)
+        from scipy.special import comb
+
+        for v in range(1, n + 1):
+            assert f[v] == pytest.approx(comb(n - 1, v - 1) * r * p**v * (1 - p) ** (n - v))
+
+    def test_independent_variant_extra_singleton_mass(self):
+        n, p, r = 4, 0.9, 0.7
+        dependent = bus_density(n, p, r, sites_need_bus=True)
+        independent = bus_density(n, p, r, sites_need_bus=False)
+        assert independent[1] == pytest.approx(dependent[1] + p * (1 - r))
+
+    def test_mass_sums_to_one(self):
+        for flag in (True, False):
+            assert bus_density(9, 0.9, 0.8, sites_need_bus=flag).sum() == pytest.approx(1.0)
+
+    def test_bad_args(self):
+        with pytest.raises(TopologyError):
+            bus_density(0, 0.9, 0.9)
+        with pytest.raises(DensityError):
+            bus_density(3, 0.9, -0.1)

@@ -1,0 +1,89 @@
+"""Unit tests for the density representation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.density import (
+    density_matrix_mean,
+    normalize_density,
+    validate_density,
+)
+from repro.errors import DensityError
+
+
+class TestValidateDensity:
+    def test_accepts_valid(self):
+        f = np.array([0.25, 0.25, 0.5])
+        out = validate_density(f, total_votes=2)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DensityError):
+            validate_density(np.array([0.5, 0.5]), total_votes=2)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(DensityError):
+            validate_density(np.array([-0.1, 0.6, 0.5]))
+
+    def test_rejects_non_unit_mass(self):
+        with pytest.raises(DensityError):
+            validate_density(np.array([0.3, 0.3]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DensityError):
+            validate_density(np.ones((2, 2)) / 4)
+
+    def test_tolerance_absorbs_float_noise(self):
+        f = np.array([0.5, 0.5 + 1e-12])
+        validate_density(f)  # should not raise
+
+
+class TestNormalizeDensity:
+    def test_rescales(self):
+        out = normalize_density(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out, [0.25, 0.75])
+
+    def test_clips_tiny_negatives(self):
+        out = normalize_density(np.array([-1e-15, 1.0]))
+        assert out[0] == 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(DensityError):
+            normalize_density(np.zeros(3))
+
+    def test_input_unmodified(self):
+        f = np.array([1.0, 1.0])
+        normalize_density(f)
+        np.testing.assert_array_equal(f, [1.0, 1.0])
+
+
+class TestDensityMatrixMean:
+    def test_uniform_default(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(density_matrix_mean(matrix), [0.5, 0.5])
+
+    def test_explicit_weights(self):
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(
+            density_matrix_mean(matrix, np.array([0.9, 0.1])), [0.9, 0.1]
+        )
+
+    def test_weights_must_sum_to_one(self):
+        matrix = np.ones((2, 3)) / 3
+        with pytest.raises(DensityError):
+            density_matrix_mean(matrix, np.array([0.5, 0.6]))
+
+    def test_negative_weights_rejected(self):
+        matrix = np.ones((2, 3)) / 3
+        with pytest.raises(DensityError):
+            density_matrix_mean(matrix, np.array([-0.5, 1.5]))
+
+    def test_wrong_weight_length(self):
+        matrix = np.ones((2, 3)) / 3
+        with pytest.raises(DensityError):
+            density_matrix_mean(matrix, np.array([1.0]))
+
+    def test_requires_2d(self):
+        with pytest.raises(DensityError):
+            density_matrix_mean(np.ones(3) / 3)

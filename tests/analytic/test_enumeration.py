@@ -1,0 +1,68 @@
+"""Unit tests for the exhaustive enumeration oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.enumeration import enumerate_density, enumerate_density_matrix
+from repro.errors import DensityError, TopologyError
+from repro.topology.generators import ring
+from repro.topology.model import Topology
+
+
+class TestEnumerationBasics:
+    def test_rows_are_densities(self):
+        matrix = enumerate_density_matrix(ring(4), 0.8, 0.7)
+        assert matrix.shape == (4, 5)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+        assert (matrix >= 0).all()
+
+    def test_two_site_line_by_hand(self):
+        # Sites a-b joined by one link; site rel p, link rel r.
+        p, r = 0.9, 0.5
+        topo = Topology(2, [(0, 1)])
+        f = enumerate_density(topo, 0, p, r)
+        assert f[0] == pytest.approx(1 - p)
+        assert f[2] == pytest.approx(p * p * r)          # both up, link up
+        assert f[1] == pytest.approx(p * (1 - p) + p * p * (1 - r))
+
+    def test_weighted_votes(self):
+        topo = Topology(2, [(0, 1)], votes=[2, 3])
+        f0 = enumerate_density(topo, 0, 1.0, 0.5)
+        # Site 0 alone: 2 votes; joined: 5 votes.
+        assert f0[2] == pytest.approx(0.5)
+        assert f0[5] == pytest.approx(0.5)
+
+    def test_pinned_components_skip_enumeration(self):
+        # Perfect links: density of a 3-ring reduces to site states only.
+        topo = ring(3)
+        f = enumerate_density(topo, 0, 0.8, 1.0)
+        # Site 0 in component of v votes = number of up sites (if 0 up).
+        assert f[0] == pytest.approx(0.2)
+        assert f[3] == pytest.approx(0.8 * 0.8 * 0.8)
+
+    def test_zero_reliability_site(self):
+        topo = Topology(2, [(0, 1)])
+        f = enumerate_density(topo, 0, np.array([0.0, 1.0]), 1.0)
+        assert f[0] == pytest.approx(1.0)
+
+    def test_per_component_reliabilities(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        matrix = enumerate_density_matrix(
+            topo, np.array([1.0, 0.5, 1.0]), np.array([1.0, 1.0])
+        )
+        # Site 1 down half the time: site 0 component is {0} or {0,1,2}.
+        assert matrix[0][1] == pytest.approx(0.5)
+        assert matrix[0][3] == pytest.approx(0.5)
+
+    def test_safety_cap(self):
+        topo = ring(20)  # 40 fallible components > cap
+        with pytest.raises(DensityError):
+            enumerate_density_matrix(topo, 0.9, 0.9)
+
+    def test_unknown_site(self):
+        with pytest.raises(TopologyError):
+            enumerate_density(ring(3), 7, 0.9, 0.9)
+
+    def test_bad_reliability_shape(self):
+        with pytest.raises(DensityError):
+            enumerate_density_matrix(ring(3), np.array([0.9, 0.9]), 0.9)

@@ -1,0 +1,156 @@
+"""Tests for the joint-CTMC exact analysis of (dynamic) protocols."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.enumeration import enumerate_density_matrix
+from repro.analytic.markov import (
+    JointMarkovChain,
+    dynamic_voting_key,
+    static_protocol_key,
+    stationary_availability,
+)
+from repro.errors import DensityError, SimulationError
+from repro.protocols.dynamic_voting import DynamicVotingProtocol
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.availability import AvailabilityModel
+from repro.topology.generators import fully_connected, ring
+from repro.topology.model import Topology
+
+MTTF, MTTR = 10.0, 1.0
+RELIABILITY = MTTF / (MTTF + MTTR)
+
+
+class TestStaticOracleAgreement:
+    """For static protocols the CTMC must reproduce the enumeration oracle
+    exactly — two wholly different computations of the same number."""
+
+    @pytest.mark.parametrize("q_r", [1, 2])
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 1.0])
+    def test_matches_enumeration_on_ring(self, q_r, alpha):
+        topo = ring(4)
+        chain = JointMarkovChain(
+            topo,
+            lambda: QuorumConsensusProtocol(QuorumAssignment.from_read_quorum(4, q_r)),
+            MTTF, MTTR, static_protocol_key,
+        )
+        matrix = enumerate_density_matrix(topo, RELIABILITY, RELIABILITY)
+        model = AvailabilityModel.from_density_matrix(matrix)
+        expected = float(model.availability(alpha, q_r))
+        assert chain.availability(alpha) == pytest.approx(expected, abs=1e-10)
+
+    def test_state_count_is_network_only_for_static(self):
+        topo = ring(3)
+        chain = JointMarkovChain(
+            topo, lambda: MajorityConsensusProtocol(3),
+            MTTF, MTTR, static_protocol_key,
+        )
+        assert chain.n_states == 2 ** (3 + 3)
+
+    def test_network_marginal_is_product_measure(self):
+        """The network marginal must factor into independent Bernoulli
+        components with the stationary reliability."""
+        topo = Topology(2, [(0, 1)])
+        chain = JointMarkovChain(
+            topo, lambda: MajorityConsensusProtocol(2),
+            MTTF, MTTR, static_protocol_key,
+        )
+        marginal = chain.network_marginal()
+        p = RELIABILITY
+        for (site_up, link_up), prob in marginal.items():
+            expected = 1.0
+            for up in list(site_up) + list(link_up):
+                expected *= p if up else (1 - p)
+            assert prob == pytest.approx(expected, abs=1e-12)
+
+    def test_infallible_components_reduce_space(self):
+        topo = ring(3)
+        chain = JointMarkovChain(
+            topo, lambda: MajorityConsensusProtocol(3),
+            MTTF, MTTR, static_protocol_key,
+            fallible_links=np.zeros(3, dtype=bool),
+        )
+        assert chain.n_states == 2 ** 3
+
+
+class TestDynamicVotingExact:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        topo = fully_connected(3)
+        return JointMarkovChain(
+            topo,
+            lambda: DynamicVotingProtocol(3),
+            MTTF, MTTR, dynamic_voting_key,
+            fallible_links=np.zeros(3, dtype=bool),  # site failures only
+        )
+
+    def test_finite_joint_space(self, chain):
+        # 8 network states x a handful of protocol states.
+        assert 8 <= chain.n_states < 200
+
+    def test_beats_static_majority_exactly(self, chain):
+        """Dynamic voting weakly dominates majority consensus on ACC in
+        this site-failure-only setting, with strict gain at some alpha."""
+        topo = fully_connected(3)
+        static = stationary_availability(
+            topo, lambda: MajorityConsensusProtocol(3), 0.5, MTTF, MTTR,
+            fallible_links=np.zeros(3, dtype=bool),
+        )
+        dynamic = chain.availability(0.5)
+        assert dynamic >= static - 1e-12
+
+    def test_survivability_ordering(self, chain):
+        surv_r, surv_w = chain.survivability()
+        assert surv_r == pytest.approx(surv_w)  # reads = writes here
+        assert 0.5 < surv_w <= 1.0
+
+    def test_exact_matches_simulation(self, chain):
+        """The headline cross-check: the simulator's dynamic-voting ACC
+        must converge to the CTMC's exact value."""
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.runner import run_simulation
+        from repro.simulation.workload import AccessWorkload
+
+        topo = fully_connected(3)
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(3, 0.5),
+            mean_time_to_failure=MTTF,
+            mean_time_to_repair=MTTR,
+            warmup_accesses=200.0,
+            accesses_per_batch=60_000.0,
+            n_batches=2,
+            initial_state="stationary",
+            fallible_links=np.zeros(3, dtype=bool),
+            seed=6,
+        )
+        result = run_simulation(cfg, DynamicVotingProtocol(3))
+        exact = chain.availability(0.5)
+        assert result.availability.mean == pytest.approx(exact, abs=0.02)
+
+
+class TestValidation:
+    def test_rejects_large_systems(self):
+        with pytest.raises(DensityError):
+            JointMarkovChain(
+                ring(13), lambda: MajorityConsensusProtocol(13),
+                MTTF, MTTR, static_protocol_key,
+            )
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SimulationError):
+            JointMarkovChain(
+                ring(3), lambda: MajorityConsensusProtocol(3),
+                0.0, 1.0, static_protocol_key,
+            )
+
+    def test_alpha_validated(self):
+        chain = JointMarkovChain(
+            ring(3), lambda: MajorityConsensusProtocol(3),
+            MTTF, MTTR, static_protocol_key,
+            fallible_links=np.zeros(3, dtype=bool),
+        )
+        with pytest.raises(SimulationError):
+            chain.availability(1.5)

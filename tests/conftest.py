@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quorum.availability import AvailabilityModel
+from repro.topology.generators import fully_connected, ring, ring_with_chords
+
+
+@pytest.fixture
+def small_ring():
+    """A 7-site ring — small enough for exact enumeration oracles."""
+    return ring(7)
+
+
+@pytest.fixture
+def small_complete():
+    """A 5-site complete graph — exact enumeration remains cheap."""
+    return fully_connected(5)
+
+
+@pytest.fixture
+def medium_topology():
+    """A 21-site ring with 4 chords for simulator tests."""
+    return ring_with_chords(21, 4)
+
+
+@pytest.fixture
+def peaked_model():
+    """An availability model whose density concentrates near T.
+
+    T = 10; mass 0.05 at v=0, 0.15 spread over mid sizes, 0.8 at v in
+    {9, 10}. Mimics a reliable, well-connected network.
+    """
+    f = np.zeros(11)
+    f[0] = 0.05
+    f[4] = 0.05
+    f[5] = 0.05
+    f[6] = 0.05
+    f[9] = 0.30
+    f[10] = 0.50
+    return AvailabilityModel(f, f)
+
+
+@pytest.fixture
+def fragmented_model():
+    """A model for a fragile network: mass concentrated at small sizes."""
+    f = np.zeros(11)
+    f[0] = 0.2
+    f[1] = 0.35
+    f[2] = 0.25
+    f[3] = 0.1
+    f[5] = 0.05
+    f[10] = 0.05
+    return AvailabilityModel(f, f)
+
+
+def uniform_density(total_votes: int) -> np.ndarray:
+    """Uniform density over 0..T (test helper)."""
+    return np.full(total_votes + 1, 1.0 / (total_votes + 1))

@@ -1,0 +1,145 @@
+"""Unit tests for component labelling and vote totals."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.components import (
+    DOWN_LABEL,
+    component_labels,
+    component_members,
+    component_vote_totals,
+    components_unionfind,
+    votes_in_component_of,
+)
+from repro.errors import TopologyError
+from repro.topology.generators import fully_connected, ring
+from repro.topology.model import Topology
+
+
+def all_up(topo):
+    return np.ones(topo.n_sites, bool), np.ones(topo.n_links, bool)
+
+
+class TestComponentLabels:
+    def test_everything_up_single_component(self):
+        topo = ring(6)
+        labels = component_labels(topo, *all_up(topo))
+        assert set(labels.tolist()) == {0}
+
+    def test_down_site_gets_down_label(self):
+        topo = ring(5)
+        site_up, link_up = all_up(topo)
+        site_up[2] = False
+        labels = component_labels(topo, site_up, link_up)
+        assert labels[2] == DOWN_LABEL
+        # Remaining sites 3,4,0,1 still connected around the ring.
+        assert len({labels[i] for i in (0, 1, 3, 4)}) == 1
+
+    def test_link_failures_partition_ring(self):
+        topo = ring(6)
+        site_up, link_up = all_up(topo)
+        link_up[topo.link_id(0, 1)] = False
+        link_up[topo.link_id(3, 4)] = False
+        labels = component_labels(topo, site_up, link_up)
+        assert labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[0]
+        assert labels[1] != labels[4]
+
+    def test_down_endpoint_disables_link(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        site_up = np.array([True, False, True])
+        link_up = np.ones(2, bool)
+        labels = component_labels(topo, site_up, link_up)
+        assert labels[0] != labels[2]
+
+    def test_labels_are_consecutive_from_zero(self):
+        topo = ring(8)
+        site_up, link_up = all_up(topo)
+        link_up[:] = False
+        labels = component_labels(topo, site_up, link_up)
+        assert sorted(set(labels.tolist())) == list(range(8))
+
+    def test_all_sites_down(self):
+        topo = ring(4)
+        labels = component_labels(topo, np.zeros(4, bool), np.ones(4, bool))
+        assert (labels == DOWN_LABEL).all()
+
+    def test_shape_validation(self):
+        topo = ring(4)
+        with pytest.raises(TopologyError):
+            component_labels(topo, np.ones(3, bool), np.ones(4, bool))
+        with pytest.raises(TopologyError):
+            component_labels(topo, np.ones(4, bool), np.ones(3, bool))
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unionfind_matches_csgraph_on_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = fully_connected(9)
+        site_up = rng.random(topo.n_sites) < 0.7
+        link_up = rng.random(topo.n_links) < 0.5
+        a = component_labels(topo, site_up, link_up)
+        b = components_unionfind(topo, site_up, link_up)
+        # Labels must induce the same partition (ids may differ).
+        assert (a == DOWN_LABEL).tolist() == (b == DOWN_LABEL).tolist()
+        for i in range(topo.n_sites):
+            for j in range(topo.n_sites):
+                if a[i] >= 0 and a[j] >= 0:
+                    assert (a[i] == a[j]) == (b[i] == b[j])
+
+
+class TestVoteTotals:
+    def test_totals_per_component(self):
+        topo = Topology(4, [(0, 1), (2, 3)], votes=[1, 2, 3, 4])
+        labels = component_labels(topo, *all_up(topo))
+        totals = component_vote_totals(labels, topo.votes)
+        assert totals[0] == totals[1] == 3
+        assert totals[2] == totals[3] == 7
+
+    def test_down_site_zero_votes(self):
+        topo = ring(4)
+        site_up, link_up = all_up(topo)
+        site_up[1] = False
+        labels = component_labels(topo, site_up, link_up)
+        totals = component_vote_totals(labels, topo.votes)
+        assert totals[1] == 0
+        assert totals[0] == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TopologyError):
+            component_vote_totals(np.array([0, 0]), np.array([1, 1, 1]))
+
+    def test_votes_in_component_of(self):
+        topo = ring(5)
+        site_up, link_up = all_up(topo)
+        assert votes_in_component_of(topo, 0, site_up, link_up) == 5
+        site_up[0] = False
+        assert votes_in_component_of(topo, 0, site_up, link_up) == 0
+
+    def test_votes_in_component_unknown_site(self):
+        topo = ring(5)
+        with pytest.raises(TopologyError):
+            votes_in_component_of(topo, 9, *all_up(topo))
+
+
+class TestComponentMembers:
+    def test_groups_match_labels(self):
+        topo = ring(6)
+        site_up, link_up = all_up(topo)
+        link_up[topo.link_id(0, 1)] = False
+        link_up[topo.link_id(2, 3)] = False
+        labels = component_labels(topo, site_up, link_up)
+        groups = component_members(labels)
+        rebuilt = np.full(6, -2)
+        for c, members in enumerate(groups):
+            rebuilt[members] = c
+        assert (rebuilt == labels).all()
+
+    def test_down_sites_excluded(self):
+        topo = ring(4)
+        site_up = np.array([True, False, True, True])
+        labels = component_labels(topo, site_up, np.ones(4, bool))
+        groups = component_members(labels)
+        assert all(1 not in g for g in groups)
+        assert sum(len(g) for g in groups) == 3

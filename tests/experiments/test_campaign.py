@@ -1,0 +1,57 @@
+"""Tests for the one-call campaign orchestrator."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    render_campaign,
+    run_campaign,
+)
+from repro.experiments.paper import PAPER_ALPHAS, TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(scale=TEST_SCALE, seed=5)
+
+
+class TestRunCampaign:
+    def test_covers_all_six_figures(self, campaign):
+        assert [num for num, _ in campaign.figures] == [2, 3, 4, 5, 6, 7]
+
+    def test_figure_lookup(self, campaign):
+        fig4 = campaign.figure(4)
+        assert "topology-2" in fig4.topology_name
+        with pytest.raises(KeyError):
+            campaign.figure(9)
+
+    def test_rw_table_covers_grid(self, campaign):
+        assert len(campaign.rw_rows) == 6 * len(PAPER_ALPHAS)
+
+    def test_write_constraint_rows(self, campaign):
+        assert campaign.write_constraint_rows[0].write_floor == 0.0
+        assert campaign.write_constraint_alpha == 0.75
+
+    def test_every_curve_is_a_probability(self, campaign):
+        for _, fig in campaign.figures:
+            for series in fig.series:
+                assert ((0 <= series.availability)
+                        & (series.availability <= 1 + 1e-12)).all()
+
+    def test_fully_connected_opt_in(self):
+        result = run_campaign(scale=TEST_SCALE, seed=1,
+                              include_fully_connected=True)
+        assert [num for num, _ in result.figures][-1] == 8
+        assert result.figure(8).model.total_votes == TEST_SCALE.n_sites
+
+
+class TestRenderCampaign:
+    def test_renders_all_sections(self, campaign):
+        text = render_campaign(campaign)
+        for marker in ("--- Figure 2 ---", "--- Figure 7 ---",
+                       "write-constraint example", "--- section 5.5 ---",
+                       "regime"):
+            assert marker in text
+
+    def test_scale_in_header(self, campaign):
+        assert "scale: test" in render_campaign(campaign)

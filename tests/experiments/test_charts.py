@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.charts import GLYPHS, ascii_chart, figure_chart
+from repro.experiments.figures import figure_data
+from repro.experiments.paper import TEST_SCALE
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        up = np.linspace(0.1, 0.9, 10)
+        down = np.linspace(0.9, 0.1, 10)
+        text = ascii_chart([up, down], ["up", "down"], width=20, height=10)
+        assert "o" in text and "+" in text
+        assert "up" in text and "down" in text
+        assert "1.00" in text and "0.00" in text
+
+    def test_crossing_curves_marked_overlap(self):
+        a = np.linspace(0.0, 1.0, 21)
+        b = np.linspace(1.0, 0.0, 21)
+        text = ascii_chart([a, b], ["a", "b"], width=21, height=11)
+        assert "*" in text  # they cross in the middle
+
+    def test_single_series_no_overlap_glyph(self):
+        text = ascii_chart([np.linspace(0, 1, 5)], ["only"], width=10, height=5)
+        assert "*" not in text.split("(")[0]  # legend mentions it, raster doesn't
+
+    def test_values_clipped(self):
+        text = ascii_chart([np.array([-1.0, 2.0])], ["wild"], width=10, height=5)
+        assert "o" in text
+
+    def test_geometry_rows(self):
+        text = ascii_chart([np.linspace(0, 1, 4)], ["s"], width=16, height=6)
+        lines = text.split("\n")
+        # height rows + axis + x-label + legend
+        assert len(lines) == 6 + 3
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_chart([], [])
+        with pytest.raises(ReproError):
+            ascii_chart([np.ones(3)], ["a", "b"])
+        with pytest.raises(ReproError):
+            ascii_chart([np.ones(3), np.ones(4)], ["a", "b"])
+        with pytest.raises(ReproError):
+            ascii_chart([np.ones(1)], ["a"])
+        with pytest.raises(ReproError):
+            ascii_chart([np.ones(3)], ["a"], width=4)
+        with pytest.raises(ReproError):
+            ascii_chart([np.ones(3)], ["a"], y_min=1.0, y_max=0.0)
+        too_many = [np.linspace(0, 1, 3)] * (len(GLYPHS) + 1)
+        with pytest.raises(ReproError):
+            ascii_chart(too_many, ["x"] * len(too_many))
+
+
+class TestFigureChart:
+    def test_renders_paper_figure(self):
+        fig = figure_data(chords=0, scale=TEST_SCALE, seed=1)
+        text = figure_chart(fig, width=32, height=10)
+        assert "availability vs read quorum" in text
+        assert "a=0.75" in text
+        # Five curves -> five glyphs in the legend.
+        legend = text.strip().split("\n")[-1]
+        for glyph in GLYPHS[:5]:
+            assert glyph in legend

@@ -1,0 +1,59 @@
+"""Tests for the reproduction-validation battery."""
+
+import pytest
+
+from repro.experiments.paper import ExperimentScale
+from repro.experiments.validation import (
+    CheckResult,
+    ValidationReport,
+    validate_reproduction,
+)
+
+#: Faster-than-default scale for the test run (half the access budget).
+FAST = ExperimentScale(
+    name="validate-fast",
+    n_sites=31,
+    warmup_accesses=0.0,
+    accesses_per_batch=25_000.0,
+    n_batches=2,
+    initial_state="stationary",
+)
+
+
+class TestReportMechanics:
+    def test_empty_report_passes(self):
+        assert ValidationReport().passed
+
+    def test_single_failure_fails_report(self):
+        report = ValidationReport()
+        report.add("a", True, "fine")
+        report.add("b", False, "broken")
+        assert not report.passed
+        text = str(report)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "REPRODUCTION BROKEN" in text
+
+    def test_check_result_str(self):
+        assert str(CheckResult("x", True, "d")) == "[PASS] x: d"
+
+
+class TestFullBattery:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_reproduction(scale=FAST, seed=3)
+
+    def test_all_checks_pass(self, report):
+        assert report.passed, "\n" + str(report)
+
+    def test_covers_all_claim_areas(self, report):
+        names = " ".join(c.name for c in report.checks)
+        for keyword in ("enumeration", "Monte-Carlo", "simulator",
+                        "q_r=1", "converge", "regimes", "write floor",
+                        "site reliability"):
+            assert keyword in names, keyword
+
+    def test_deterministic_by_seed(self):
+        a = validate_reproduction(scale=FAST, seed=9)
+        b = validate_reproduction(scale=FAST, seed=9)
+        assert [c.detail for c in a.checks] == [c.detail for c in b.checks]

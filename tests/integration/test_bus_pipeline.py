@@ -1,0 +1,78 @@
+"""End-to-end validation of the bus network model.
+
+Chains four independently-built pieces: the bus closed form (section
+4.2), the star-through-a-hub topology encoding, heterogeneous
+per-component failure rates, and the simulator — the stationary density
+measured at a real simulated site must match the paper's formula.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic.bus import bus_density
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.processes import reliability_to_repair_time
+from repro.simulation.runner import run_simulation
+from repro.simulation.workload import AccessWorkload
+from repro.topology.generators import bus
+
+
+@pytest.fixture(scope="module")
+def bus_run():
+    n = 8
+    p, r = 0.9, 0.8
+    topo = bus(n)  # sites 0..7 plus zero-vote hub at 8
+    hub = n
+
+    mu_f = 20.0
+    # Per-component mean times: sites at reliability p, hub at r.
+    mttf = np.full(topo.n_sites + topo.n_links, mu_f)
+    mttr = np.empty(topo.n_sites + topo.n_links)
+    mttr[:n] = reliability_to_repair_time(p, mu_f)
+    mttr[hub] = reliability_to_repair_time(r, mu_f)
+    mttr[topo.n_sites:] = 1.0  # links are infallible; value unused
+
+    fallible_links = np.zeros(topo.n_links, dtype=bool)  # perfect spokes
+
+    workload = AccessWorkload.uniform(topo.n_sites, alpha=0.5)
+    cfg = SimulationConfig(
+        topology=topo,
+        workload=workload,
+        mean_time_to_failure=mttf,
+        mean_time_to_repair=mttr,
+        warmup_accesses=0.0,
+        accesses_per_batch=60_000.0,
+        n_batches=2,
+        initial_state="stationary",
+        fallible_links=fallible_links,
+        seed=31,
+    )
+    result = run_simulation(cfg, MajorityConsensusProtocol(topo.total_votes))
+    return n, p, r, result
+
+
+class TestBusPipeline:
+    def test_simulated_density_matches_bus_closed_form(self, bus_run):
+        n, p, r, result = bus_run
+        measured = result.density_matrix("time")[:n].mean(axis=0)
+        expected = bus_density(n, p, r, sites_need_bus=False)
+        assert np.abs(measured - expected).max() < 0.02
+
+    def test_hub_density_reflects_bus_reliability(self, bus_run):
+        """The hub carries zero votes; when down it sits at 0 votes, and
+        the fraction of time down is 1 - r."""
+        n, p, r, result = bus_run
+        hub_density = result.density_matrix("time")[n]
+        assert hub_density[0] == pytest.approx(1 - r, abs=0.02)
+
+    def test_bus_down_isolates_everyone(self, bus_run):
+        """With the bus down, every up site is a singleton: mass at
+        exactly 1 vote must include the p * (1 - r) bus-down term."""
+        n, p, r, result = bus_run
+        site_density = result.density_matrix("time")[:n].mean(axis=0)
+        from scipy.special import comb
+
+        bus_up_singleton = r * comb(n - 1, 0) * p * (1 - p) ** (n - 1)
+        expected_singleton = p * (1 - r) + bus_up_singleton
+        assert site_density[1] == pytest.approx(expected_singleton, abs=0.02)

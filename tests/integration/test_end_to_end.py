@@ -1,0 +1,163 @@
+"""End-to-end integration tests: the full paper workflow on small systems.
+
+Each test exercises the complete pipeline a user of the library would
+run: build a topology, simulate it, estimate densities on-line, feed the
+Figure-1 algorithm, pick quorums, and (for the dynamic tests) install
+them through the QR protocol while the network keeps failing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic.ring import ring_density
+from repro.experiments.paper import TEST_SCALE
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.reassignment import QuorumReassignmentProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import ring, ring_with_chords
+
+
+class TestFigureOneWorkflow:
+    """Simulate -> estimate f_i -> optimize -> verify the choice wins."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = SimulationConfig.paper_like(
+            ring_with_chords(15, 2),
+            alpha=0.75,
+            warmup_accesses=300.0,
+            accesses_per_batch=20_000.0,
+            n_batches=3,
+            seed=11,
+        )
+        protocol = MajorityConsensusProtocol(cfg.topology.total_votes)
+        return cfg, run_simulation(cfg, protocol)
+
+    def test_online_estimate_close_to_analytic_shape(self, run):
+        cfg, result = run
+        model = result.availability_model()
+        # A chorded ring sits between the pure ring and complete closed
+        # forms; sanity-check the gross shape: down mass approximately 1-p.
+        assert model.read_density[0] == pytest.approx(0.04, abs=0.01)
+
+    def test_recommended_quorum_beats_majority_in_direct_simulation(self, run):
+        cfg, result = run
+        model = result.availability_model()
+        best = optimal_read_quorum(model, alpha=0.75)
+        if best.read_quorum == model.max_read_quorum:
+            pytest.skip("optimum coincides with majority on this draw")
+        # Re-simulate both assignments directly and compare measured ACC.
+        opt_proto = QuorumConsensusProtocol(best.assignment)
+        maj_proto = MajorityConsensusProtocol(cfg.topology.total_votes)
+        acc_opt = run_simulation(cfg, opt_proto).availability.mean
+        acc_maj = run_simulation(cfg, maj_proto).availability.mean
+        assert acc_opt > acc_maj - 0.01
+
+    def test_predicted_availability_matches_direct_measurement(self, run):
+        cfg, result = run
+        model = result.availability_model()
+        q = 3
+        predicted = float(model.availability(0.75, q))
+        direct = run_simulation(
+            cfg, QuorumConsensusProtocol(QuorumAssignment.from_read_quorum(15, q))
+        )
+        assert direct.availability.mean == pytest.approx(predicted, abs=0.03)
+
+
+class TestDynamicReassignmentWorkflow:
+    def test_qr_protocol_survives_full_simulation(self):
+        """Run the QR protocol inside the simulator with an observer that
+        periodically re-optimizes from the on-line estimate. The run must
+        complete, install at least one reassignment, and never violate the
+        version-propagation invariant."""
+        topo = ring(11)
+        cfg = SimulationConfig.paper_like(
+            topo,
+            alpha=0.9,
+            warmup_accesses=0.0,
+            accesses_per_batch=20_000.0,
+            n_batches=1,
+            seed=4,
+        )
+        T = topo.total_votes
+        protocol = QuorumReassignmentProtocol(T, QuorumAssignment.majority(T))
+        from repro.protocols.estimator import OnlineDensityEstimator
+
+        estimator = OnlineDensityEstimator(topo.n_sites, T)
+        state = {"last": None}
+
+        def observer(time, tracker, proto):
+            estimator.observe_all(tracker.vote_totals, weight=1.0)
+            if estimator.total_weight < 50 * topo.n_sites:
+                return
+            model = AvailabilityModel.from_density_matrix(estimator.density_matrix())
+            best = optimal_read_quorum(model, alpha=0.9)
+            current = proto.effective_assignment(tracker, 0)
+            if current is not None and best.assignment != current:
+                if proto.try_reassign(tracker, 0, best.assignment):
+                    state["last"] = best.assignment
+
+        result = run_simulation(cfg, protocol, change_observer=observer)
+        assert protocol.installs >= 1
+        # At alpha = 0.9 on a ring the optimizer should move away from
+        # majority toward small read quorums.
+        assert state["last"] is not None
+        assert state["last"].read_quorum < T // 2
+
+    def test_dynamic_beats_static_majority_on_read_heavy_ring(self):
+        """The headline value proposition: on a read-heavy sparse network,
+        QR + on-line optimization yields higher measured availability than
+        static majority consensus."""
+        # A 21-site ring fragments enough for the quorum choice to matter:
+        # analytically A(opt) - A(majority) ~ 0.13 at alpha = 0.9.
+        topo = ring(21)
+        T = topo.total_votes
+        base = SimulationConfig.paper_like(
+            topo,
+            alpha=0.9,
+            warmup_accesses=200.0,
+            accesses_per_batch=15_000.0,
+            n_batches=3,
+            seed=21,
+        )
+
+        static = run_simulation(base, MajorityConsensusProtocol(T))
+
+        analytic = ring_density(T, 0.96, 0.96)
+        model = AvailabilityModel(analytic, analytic)
+        protocol = QuorumReassignmentProtocol(T, QuorumAssignment.majority(T))
+        best = optimal_read_quorum(model, alpha=0.9)
+
+        def observer(time, tracker, proto):
+            current = proto.effective_assignment(tracker, 0)
+            if current is not None and current != best.assignment:
+                proto.try_reassign(tracker, 0, best.assignment)
+
+        dynamic = run_simulation(base, protocol, change_observer=observer)
+        assert dynamic.availability.mean > static.availability.mean + 0.05
+
+
+class TestMetricRelationships:
+    def test_acc_bounded_by_site_reliability_and_surv(self):
+        """Paper section 3: single-site reliability lower-bounds SURV and
+        upper-bounds ACC."""
+        cfg = SimulationConfig.paper_like(
+            ring_with_chords(13, 1),
+            alpha=0.5,
+            warmup_accesses=200.0,
+            accesses_per_batch=15_000.0,
+            n_batches=2,
+            seed=9,
+        )
+        res = run_simulation(cfg, MajorityConsensusProtocol(13))
+        p = cfg.component_reliability
+        assert res.availability.mean <= p + 0.02
+        # SURV for the easier operation (read == write under majority) is
+        # at least the single-site reliability... for majority the claim
+        # holds for the metric pair as the paper states it:
+        assert res.surv_read.mean >= p - 0.05

@@ -1,0 +1,178 @@
+"""Hypothesis stateful machines driving the dynamic protocols.
+
+These are the strongest safety tests in the suite: hypothesis explores
+arbitrary interleavings of failures, repairs, reassignment attempts, and
+data accesses, checking protocol invariants after every step and
+shrinking any violation to a minimal event sequence.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.protocols.dynamic_voting import DynamicVotingProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.reassignment import QuorumReassignmentProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.replication.database import ReplicatedDatabase
+from repro.topology.generators import ring_with_chords
+
+N_SITES = 6
+TOPOLOGY = ring_with_chords(N_SITES, 1)
+N_LINKS = TOPOLOGY.n_links
+
+sites = st.integers(0, N_SITES - 1)
+links = st.integers(0, N_LINKS - 1)
+read_quorums = st.integers(1, N_SITES // 2)
+
+
+class QRSafetyMachine(RuleBasedStateMachine):
+    """QR protocol: no access under a stale assignment, single writer."""
+
+    @initialize()
+    def setup(self):
+        self.state = NetworkState(TOPOLOGY)
+        self.tracker = ComponentTracker(self.state)
+        self.protocol = QuorumReassignmentProtocol(
+            N_SITES, QuorumAssignment.majority(N_SITES)
+        )
+        self.protocol.on_network_change(self.tracker)
+
+    @rule(site=sites)
+    def flip_site(self, site):
+        self.state.set_site(site, not self.state.site_up[site])
+        self.protocol.on_network_change(self.tracker)
+
+    @rule(link=links)
+    def flip_link(self, link):
+        self.state.set_link(link, not self.state.link_up[link])
+        self.protocol.on_network_change(self.tracker)
+
+    @rule(site=sites, q_r=read_quorums)
+    def attempt_reassign(self, site, q_r):
+        self.protocol.try_reassign(
+            self.tracker, site, QuorumAssignment.from_read_quorum(N_SITES, q_r)
+        )
+
+    @invariant()
+    def granted_components_know_newest_assignment(self):
+        read_mask, write_mask = self.protocol.grant_masks(self.tracker)
+        newest = self.protocol.max_version()
+        for site in np.nonzero(read_mask | write_mask)[0]:
+            members = self.tracker.component_of(int(site))
+            assert int(self.protocol.site_version[members].max()) == newest
+
+    @invariant()
+    def at_most_one_writing_component(self):
+        _, write_mask = self.protocol.grant_masks(self.tracker)
+        writers = np.nonzero(write_mask)[0]
+        assert len({int(self.tracker.labels[w]) for w in writers}) <= 1
+
+    @invariant()
+    def down_sites_never_granted(self):
+        read_mask, write_mask = self.protocol.grant_masks(self.tracker)
+        down = ~self.state.site_up
+        assert not read_mask[down].any()
+        assert not write_mask[down].any()
+
+
+class DynamicVotingMachine(RuleBasedStateMachine):
+    """Dynamic voting: at most one distinguished component, aligned with
+    the partition, and never containing a down site."""
+
+    @initialize()
+    def setup(self):
+        self.state = NetworkState(TOPOLOGY)
+        self.tracker = ComponentTracker(self.state)
+        self.protocol = DynamicVotingProtocol(N_SITES)
+        self.protocol.on_network_change(self.tracker)
+
+    @rule(site=sites)
+    def flip_site(self, site):
+        self.state.set_site(site, not self.state.site_up[site])
+        self.protocol.on_network_change(self.tracker)
+
+    @rule(link=links)
+    def flip_link(self, link):
+        self.state.set_link(link, not self.state.link_up[link])
+        self.protocol.on_network_change(self.tracker)
+
+    @rule()
+    def extra_write(self):
+        self.protocol.perform_write(self.tracker)
+
+    @invariant()
+    def one_whole_distinguished_component(self):
+        members = self.protocol.distinguished_component(self.tracker)
+        if members is None:
+            return
+        labels = self.tracker.labels
+        label_set = {int(labels[m]) for m in members}
+        assert len(label_set) == 1
+        label = label_set.pop()
+        assert label >= 0
+        assert np.array_equal(members, np.nonzero(labels == label)[0])
+
+    @invariant()
+    def participant_counts_consistent(self):
+        # Every copy's recorded cardinality is at least 1 and at most n.
+        assert (self.protocol.cardinality >= 1).all()
+        assert (self.protocol.cardinality <= N_SITES).all()
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    """Replicated database under quorum consensus: the built-in
+    serializability checker must never fire, and granted reads must
+    return the globally newest committed value."""
+
+    @initialize(q_r=read_quorums)
+    def setup(self, q_r):
+        protocol = QuorumConsensusProtocol(
+            QuorumAssignment.from_read_quorum(N_SITES, q_r)
+        )
+        self.db = ReplicatedDatabase(TOPOLOGY, protocol, initial_value=0)
+        self.next_value = 1
+        self.committed = 0
+
+    @rule(site=sites)
+    def flip_site(self, site):
+        if self.db.state.site_up[site]:
+            self.db.fail_site(site)
+        else:
+            self.db.repair_site(site)
+
+    @rule(link=links)
+    def flip_link(self, link):
+        pair = TOPOLOGY.links[link].endpoints()
+        if self.db.state.link_up[link]:
+            self.db.fail_link(*pair)
+        else:
+            self.db.repair_link(*pair)
+
+    @rule(site=sites)
+    def read(self, site):
+        result = self.db.submit_read(site)  # checker raises on violation
+        if result.granted:
+            assert result.value == self.committed
+
+    @rule(site=sites)
+    def write(self, site):
+        result = self.db.submit_write(site, self.next_value)
+        if result.granted:
+            self.committed = self.next_value
+        self.next_value += 1
+
+
+TestQRSafetyMachine = QRSafetyMachine.TestCase
+TestQRSafetyMachine.settings = settings(max_examples=25, stateful_step_count=30,
+                                        deadline=None)
+
+TestDynamicVotingMachine = DynamicVotingMachine.TestCase
+TestDynamicVotingMachine.settings = settings(max_examples=25, stateful_step_count=30,
+                                             deadline=None)
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = settings(max_examples=25, stateful_step_count=30,
+                                        deadline=None)

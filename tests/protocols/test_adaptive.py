@@ -1,0 +1,208 @@
+"""Tests for the workload estimator and the adaptive quorum protocol."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import ProtocolError, SimulationError
+from repro.protocols.adaptive import AdaptiveQuorumProtocol
+from repro.protocols.workload_estimator import WorkloadEstimator
+from repro.quorum.assignment import QuorumAssignment
+from repro.topology.generators import ring
+
+
+class TestWorkloadEstimator:
+    def test_alpha_estimation(self):
+        est = WorkloadEstimator(3, pseudocount=0.01)
+        for _ in range(30):
+            est.observe(0, is_read=True)
+        for _ in range(10):
+            est.observe(1, is_read=False)
+        assert est.alpha == pytest.approx(0.75, abs=0.01)
+
+    def test_prior_centers_alpha(self):
+        assert WorkloadEstimator(4).alpha == 0.5
+
+    def test_site_weights(self):
+        est = WorkloadEstimator(3, pseudocount=0.01)
+        est.observe_counts(np.array([80.0, 20.0, 0.0]), np.array([0.0, 0.0, 50.0]))
+        np.testing.assert_allclose(est.read_weights, [0.8, 0.2, 0.0], atol=0.01)
+        np.testing.assert_allclose(est.write_weights, [0.0, 0.0, 1.0], atol=0.01)
+
+    def test_weights_always_positive(self):
+        est = WorkloadEstimator(3)
+        est.observe(0, True)
+        assert (est.read_weights > 0).all()
+        assert (est.write_weights > 0).all()
+        assert est.read_weights.sum() == pytest.approx(1.0)
+
+    def test_forgetting_tracks_shift(self):
+        est = WorkloadEstimator(2, forgetting_factor=0.9, pseudocount=0.01)
+        for _ in range(100):
+            est.observe(0, is_read=False)
+        for _ in range(40):
+            est.observe(0, is_read=True)
+        assert est.alpha > 0.9
+
+    def test_snapshot_shape(self):
+        est = WorkloadEstimator(5)
+        alpha, r_i, w_i = est.snapshot()
+        assert 0 <= alpha <= 1
+        assert r_i.shape == (5,) and w_i.shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WorkloadEstimator(0)
+        with pytest.raises(SimulationError):
+            WorkloadEstimator(3, forgetting_factor=0.0)
+        with pytest.raises(SimulationError):
+            WorkloadEstimator(3, pseudocount=0.0)
+        est = WorkloadEstimator(3)
+        with pytest.raises(SimulationError):
+            est.observe(5, True)
+        with pytest.raises(SimulationError):
+            est.observe_counts(np.array([1.0]), np.array([1.0, 1.0, 1.0]))
+
+    def test_reset(self):
+        est = WorkloadEstimator(2)
+        est.observe(0, True)
+        est.reset()
+        assert est.total_observed == 0.0
+
+
+class TestAdaptiveProtocol:
+    def _setup(self, n=9, **kwargs):
+        topo = ring(n)
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        proto = AdaptiveQuorumProtocol(n, n, **kwargs)
+        proto.on_network_change(tracker)
+        return topo, state, tracker, proto
+
+    def test_starts_as_majority(self):
+        topo, state, tracker, proto = self._setup()
+        assert proto.current_assignment(tracker, 0) == QuorumAssignment.majority(9)
+
+    def test_no_reassignment_without_evidence(self):
+        topo, state, tracker, proto = self._setup(min_observation_weight=1e9)
+        proto.record_epoch(tracker, 10.0,
+                           reads=np.full(9, 5.0), writes=np.ones(9))
+        assert not proto.maybe_reassign(tracker)
+        assert proto.installs == 0
+
+    def test_learns_read_heavy_and_moves_left(self):
+        """Feed read-heavy epochs where the network is often fragmented;
+        the protocol must install a small read quorum."""
+        topo, state, tracker, proto = self._setup(
+            min_observation_weight=50.0, improvement_threshold=0.0,
+        )
+        rng = np.random.default_rng(0)
+        reads = np.full(9, 9.0)   # alpha ~ 0.9
+        writes = np.full(9, 1.0)
+        for step in range(60):
+            # Random fragmentation: flip a couple of links.
+            for _ in range(2):
+                link = int(rng.integers(0, topo.n_links))
+                state.set_link(link, not state.link_up[link])
+            proto.record_epoch(tracker, duration=1.0, reads=reads, writes=writes)
+            proto.on_network_change(tracker)
+        assert proto.installs >= 1
+        # Heal fully and read the effective assignment.
+        for link in range(topo.n_links):
+            state.set_link(link, True)
+        proto.on_network_change(tracker)
+        assignment = proto.current_assignment(tracker, 0)
+        assert assignment.read_quorum < 4
+        assert proto.effective_alpha() == pytest.approx(0.9, abs=0.02)
+
+    def test_hysteresis_defers_marginal_changes(self):
+        topo, state, tracker, proto = self._setup(
+            min_observation_weight=10.0, improvement_threshold=1.0,  # impossible gain
+        )
+        reads = np.full(9, 9.0)
+        writes = np.full(9, 1.0)
+        for _ in range(30):
+            proto.record_epoch(tracker, 1.0, reads=reads, writes=writes)
+            proto.on_network_change(tracker)
+        assert proto.installs == 0
+
+    def test_alpha_hint_overrides_measurement(self):
+        topo, state, tracker, proto = self._setup(alpha_hint=0.25)
+        proto.workload.observe(0, is_read=True)
+        assert proto.effective_alpha() == 0.25
+
+    def test_write_floor_respected(self):
+        topo, state, tracker, proto = self._setup(
+            min_observation_weight=10.0, improvement_threshold=0.0,
+            write_floor=0.3, alpha_hint=0.9,
+        )
+        for _ in range(30):
+            proto.record_epoch(tracker, 1.0,
+                               reads=np.full(9, 9.0), writes=np.ones(9))
+            proto.on_network_change(tracker)
+        model = proto.current_model()
+        assignment = proto.current_assignment(tracker, 0)
+        write_avail = float(np.asarray(
+            model.write_availability_at(assignment.read_quorum)
+        ))
+        assert write_avail >= 0.3 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveQuorumProtocol(5, 5, check_interval=0)
+        with pytest.raises(ProtocolError):
+            AdaptiveQuorumProtocol(5, 5, improvement_threshold=-1.0)
+        with pytest.raises(ProtocolError):
+            AdaptiveQuorumProtocol(5, 5, alpha_hint=2.0)
+
+    def test_record_access_scheme(self):
+        """The paper's literal per-access recording also feeds both
+        estimators."""
+        topo, state, tracker, proto = self._setup(min_observation_weight=5.0)
+        for _ in range(20):
+            proto.record_access(tracker, site=0, is_read=True)
+            proto.record_access(tracker, site=1, is_read=False)
+        assert proto.workload.alpha == pytest.approx(0.5, abs=0.05)
+        assert proto.density.total_weight == pytest.approx(40.0)
+        assert proto.density.density(0)[9] == pytest.approx(1.0)
+
+    def test_record_epoch_validates_duration(self):
+        topo, state, tracker, proto = self._setup()
+        with pytest.raises(ProtocolError):
+            proto.record_epoch(tracker, -1.0)
+
+    def test_reset_clears_state(self):
+        topo, state, tracker, proto = self._setup(min_observation_weight=1.0)
+        proto.record_epoch(tracker, 5.0, reads=np.ones(9), writes=np.ones(9))
+        proto.reset()
+        assert proto.density.total_weight == 0.0
+        assert proto.installs == 0
+
+
+class TestAdaptiveInSimulator:
+    def test_end_to_end_self_tuning(self):
+        """Drop the adaptive protocol into the simulator unmodified: it
+        must learn alpha from the sampled workload, install a better
+        assignment, and beat static majority on measured ACC."""
+        from repro.protocols.majority import MajorityConsensusProtocol
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.runner import run_simulation
+
+        topo = ring(21)
+        cfg = SimulationConfig.paper_like(
+            topo, alpha=0.9,
+            warmup_accesses=0.0,
+            accesses_per_batch=20_000.0,
+            n_batches=2,
+            initial_state="stationary",
+            seed=14,
+        )
+        adaptive = AdaptiveQuorumProtocol(
+            21, 21, min_observation_weight=50.0, improvement_threshold=0.005,
+        )
+        dynamic = run_simulation(cfg, adaptive)
+        static = run_simulation(cfg, MajorityConsensusProtocol(21))
+        assert adaptive.installs >= 1
+        # Measured alpha converged to the true 0.9.
+        assert adaptive.effective_alpha() == pytest.approx(0.9, abs=0.03)
+        assert dynamic.availability.mean > static.availability.mean + 0.03

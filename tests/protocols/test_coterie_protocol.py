@@ -1,0 +1,143 @@
+"""Tests for the coterie-based replica control protocol."""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import ProtocolError, QuorumConstraintError
+from repro.protocols.coterie_protocol import CoterieProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.coterie import Coterie
+from repro.quorum.votes import VoteAssignment
+from repro.topology.generators import ring, ring_with_chords
+
+
+class TestConstruction:
+    def test_basic(self):
+        # Singleton reads force write-all (the ROWA coterie).
+        proto = CoterieProtocol(
+            read_groups=[{0}, {1}, {2}],
+            write_coterie=Coterie([{0, 1, 2}]),
+        )
+        assert proto.n_sites == 3
+
+    def test_read_write_intersection_enforced(self):
+        # Read group {0} misses write group {1, 2}: stale reads possible.
+        with pytest.raises(QuorumConstraintError):
+            CoterieProtocol(
+                read_groups=[{0}],
+                write_coterie=Coterie([{1, 2}]),
+            )
+
+    def test_empty_read_groups_rejected(self):
+        with pytest.raises(QuorumConstraintError):
+            CoterieProtocol(read_groups=[], write_coterie=Coterie([{0}]))
+        with pytest.raises(QuorumConstraintError):
+            CoterieProtocol(read_groups=[set()], write_coterie=Coterie([{0}]))
+
+    def test_n_sites_bound(self):
+        with pytest.raises(ProtocolError):
+            CoterieProtocol(
+                read_groups=[{5}],
+                write_coterie=Coterie([{5}]),
+                n_sites=3,
+            )
+
+    def test_from_votes_validates_condition_one(self):
+        votes = VoteAssignment.uniform(5)
+        with pytest.raises(QuorumConstraintError):
+            CoterieProtocol.from_votes(votes, read_quorum=1, write_quorum=3)
+
+
+class TestEquivalenceWithVoting:
+    @pytest.mark.parametrize("q_r", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_quorum_consensus_on_random_partitions(self, q_r, seed):
+        """The coterie rendering of (q_r, q_w) must make exactly the same
+        grant decisions as the vote-counting implementation."""
+        n = 7
+        topo = ring_with_chords(n, 1)
+        votes = VoteAssignment.uniform(n)
+        assignment = QuorumAssignment.from_read_quorum(n, q_r)
+        vote_proto = QuorumConsensusProtocol(assignment)
+        coterie_proto = CoterieProtocol.from_votes(
+            votes, assignment.read_quorum, assignment.write_quorum
+        )
+
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        rng = np.random.default_rng(seed)
+        for _ in range(60):
+            k = int(rng.integers(0, topo.n_sites + topo.n_links))
+            if k < topo.n_sites:
+                state.set_site(k, not state.site_up[k])
+            else:
+                link = k - topo.n_sites
+                state.set_link(link, not state.link_up[link])
+            for a, b in zip(
+                vote_proto.grant_masks(tracker), coterie_proto.grant_masks(tracker)
+            ):
+                np.testing.assert_array_equal(a, b)
+
+    def test_weighted_votes_equivalence(self):
+        votes = VoteAssignment([3, 1, 1, 1])
+        proto = CoterieProtocol.from_votes(votes, read_quorum=2, write_quorum=5)
+        topo = ring(4).with_votes([3, 1, 1, 1])
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        vote_proto = QuorumConsensusProtocol(QuorumAssignment(6, 2, 5))
+        state.fail_link(topo.link_id(1, 2))
+        for a, b in zip(
+            vote_proto.grant_masks(tracker), proto.grant_masks(tracker)
+        ):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestBeyondVoting:
+    def test_asymmetric_hand_built_coterie(self):
+        """A hub-centric coterie: writes need the hub plus any other
+        site; reads need the hub alone OR all three non-hub sites (the
+        only hub-free set meeting every write group). Not expressible as
+        a single (q_r, q_w) pair: the hub alone reads, yet a two-site
+        hub-free component cannot, so no vote threshold separates them."""
+        proto = CoterieProtocol(
+            read_groups=[{0}, {1, 2, 3}],
+            write_coterie=Coterie([{0, 1}, {0, 2}, {0, 3}]),
+            n_sites=4,
+        )
+        topo = ring(4)
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        # Isolate site 0: cut both its links.
+        state.fail_link(topo.link_id(0, 1))
+        state.fail_link(topo.link_id(3, 0))
+        read_mask, write_mask = proto.grant_masks(tracker)
+        # Hub alone may read but not write.
+        assert read_mask[0] and not write_mask[0]
+        # {1,2,3} may read (full hub-free group) but not write.
+        assert read_mask[1] and not write_mask[1]
+        # Shrink the hub-free side: {1,2} alone may no longer read.
+        state.fail_site(3)
+        read_mask, write_mask = proto.grant_masks(tracker)
+        assert read_mask[0]
+        assert not read_mask[1] and not read_mask[2]
+
+    def test_all_down(self):
+        proto = CoterieProtocol(
+            [{0, 1}, {1, 2}, {0, 2}], Coterie([{0, 1}, {1, 2}, {0, 2}])
+        )
+        topo = ring(3)
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        for s in range(3):
+            state.fail_site(s)
+        read_mask, write_mask = proto.grant_masks(tracker)
+        assert not read_mask.any() and not write_mask.any()
+
+    def test_network_smaller_than_protocol(self):
+        proto = CoterieProtocol([{4}], Coterie([{4}]))
+        topo = ring(3)
+        tracker = ComponentTracker(NetworkState(topo))
+        with pytest.raises(ProtocolError):
+            proto.grant_masks(tracker)

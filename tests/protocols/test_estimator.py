@@ -1,0 +1,150 @@
+"""Unit tests for the on-line density estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DensityError
+from repro.protocols.estimator import OnlineDensityEstimator
+
+
+class TestConstruction:
+    def test_bad_args(self):
+        with pytest.raises(DensityError):
+            OnlineDensityEstimator(0, 5)
+        with pytest.raises(DensityError):
+            OnlineDensityEstimator(3, 0)
+        with pytest.raises(DensityError):
+            OnlineDensityEstimator(3, 5, forgetting_factor=0.0)
+        with pytest.raises(DensityError):
+            OnlineDensityEstimator(3, 5, forgetting_factor=1.5)
+
+
+class TestObserve:
+    def test_single_observations(self):
+        est = OnlineDensityEstimator(2, 4)
+        est.observe(0, 3)
+        est.observe(0, 3)
+        est.observe(0, 1)
+        f = est.density(0)
+        assert f[3] == pytest.approx(2 / 3)
+        assert f[1] == pytest.approx(1 / 3)
+
+    def test_observe_bounds(self):
+        est = OnlineDensityEstimator(2, 4)
+        with pytest.raises(DensityError):
+            est.observe(2, 0)
+        with pytest.raises(DensityError):
+            est.observe(0, 5)
+        with pytest.raises(DensityError):
+            est.observe(0, 2, weight=-1.0)
+
+    def test_observe_all_snapshot(self):
+        est = OnlineDensityEstimator(3, 5)
+        est.observe_all(np.array([5, 5, 0]), weight=2.0)
+        est.observe_all(np.array([3, 5, 0]), weight=1.0)
+        f0 = est.density(0)
+        assert f0[5] == pytest.approx(2 / 3)
+        assert f0[3] == pytest.approx(1 / 3)
+        assert est.density(2)[0] == pytest.approx(1.0)
+
+    def test_observe_all_validation(self):
+        est = OnlineDensityEstimator(3, 5)
+        with pytest.raises(DensityError):
+            est.observe_all(np.array([1, 2]))
+        with pytest.raises(DensityError):
+            est.observe_all(np.array([1, 2, 6]))
+        with pytest.raises(DensityError):
+            est.observe_all(np.array([1, 2, 3]), weight=-0.5)
+
+    def test_observe_counts(self):
+        est = OnlineDensityEstimator(2, 3)
+        est.observe_counts(np.array([3, 1]), np.array([4.0, 0.0]))
+        est.observe_counts(np.array([2, 1]), np.array([1.0, 5.0]))
+        assert est.density(0)[3] == pytest.approx(0.8)
+        assert est.density(1)[1] == pytest.approx(1.0)
+        assert est.site_weight(1) == pytest.approx(5.0)
+
+    def test_observe_counts_validation(self):
+        est = OnlineDensityEstimator(2, 3)
+        with pytest.raises(DensityError):
+            est.observe_counts(np.array([1, 1]), np.array([1.0]))
+        with pytest.raises(DensityError):
+            est.observe_counts(np.array([1, 1]), np.array([-1.0, 1.0]))
+
+    def test_duplicate_vote_totals_accumulate(self):
+        """np.add.at must accumulate when several sites share a cell."""
+        est = OnlineDensityEstimator(3, 2)
+        est.observe_counts(np.array([2, 2, 2]), np.array([1.0, 2.0, 3.0]))
+        assert est.total_weight == pytest.approx(6.0)
+
+
+class TestReadout:
+    def test_density_requires_observation(self):
+        est = OnlineDensityEstimator(2, 3)
+        with pytest.raises(DensityError):
+            est.density(0)
+
+    def test_density_matrix_requires_full_coverage(self):
+        est = OnlineDensityEstimator(2, 3)
+        est.observe(0, 1)
+        with pytest.raises(DensityError):
+            est.density_matrix()
+        est.observe(1, 2)
+        matrix = est.density_matrix()
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_unknown_site(self):
+        est = OnlineDensityEstimator(2, 3)
+        with pytest.raises(DensityError):
+            est.density(5)
+
+    def test_reset(self):
+        est = OnlineDensityEstimator(2, 3)
+        est.observe(0, 1)
+        est.reset()
+        assert est.total_weight == 0.0
+
+
+class TestForgetting:
+    def test_forgetting_tracks_regime_change(self):
+        fast = OnlineDensityEstimator(1, 4, forgetting_factor=0.5)
+        slow = OnlineDensityEstimator(1, 4, forgetting_factor=1.0)
+        for _ in range(50):
+            fast.observe(0, 4)
+            slow.observe(0, 4)
+        for _ in range(10):
+            fast.observe(0, 1)
+            slow.observe(0, 1)
+        # The forgetting estimator has essentially converged to the new
+        # regime; the non-forgetting one is still dominated by history.
+        assert fast.density(0)[1] > 0.95
+        assert slow.density(0)[1] < 0.25
+
+    def test_no_decay_when_factor_one(self):
+        est = OnlineDensityEstimator(1, 2)
+        est.observe(0, 1)
+        est.observe(0, 2)
+        assert est.total_weight == pytest.approx(2.0)
+
+
+class TestMerge:
+    def test_merge_combines_weights(self):
+        a = OnlineDensityEstimator(2, 3)
+        b = OnlineDensityEstimator(2, 3)
+        a.observe(0, 1)
+        b.observe(0, 3)
+        b.observe(1, 2)
+        a.merge(b)
+        assert a.density(0)[1] == pytest.approx(0.5)
+        assert a.density(0)[3] == pytest.approx(0.5)
+        assert a.site_weight(1) == pytest.approx(1.0)
+
+    def test_merge_shape_mismatch(self):
+        a = OnlineDensityEstimator(2, 3)
+        b = OnlineDensityEstimator(2, 4)
+        with pytest.raises(DensityError):
+            a.merge(b)
+
+    def test_repr(self):
+        est = OnlineDensityEstimator(2, 3)
+        assert "OnlineDensityEstimator" in repr(est)

@@ -1,0 +1,192 @@
+"""Unit and model tests for the QR dynamic quorum reassignment protocol.
+
+The model test at the bottom is the executable version of the section 2.2
+safety argument: drive random partitions, merges, and reassignment
+attempts, and assert that no component ever grants an access without
+holding the newest installed assignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.errors import ProtocolError
+from repro.protocols.reassignment import QuorumReassignmentProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.topology.generators import ring, ring_with_chords
+
+
+@pytest.fixture
+def setup():
+    topo = ring(6)
+    state = NetworkState(topo)
+    tracker = ComponentTracker(state)
+    proto = QuorumReassignmentProtocol(6, QuorumAssignment.majority(6))
+    proto.on_network_change(tracker)
+    return topo, state, tracker, proto
+
+
+class TestBasics:
+    def test_initial_state(self, setup):
+        topo, state, tracker, proto = setup
+        assert proto.max_version() == 1
+        assert proto.effective_assignment(tracker, 0) == QuorumAssignment.majority(6)
+
+    def test_initially_behaves_like_static(self, setup):
+        topo, state, tracker, proto = setup
+        from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+
+        static = QuorumConsensusProtocol(QuorumAssignment.majority(6))
+        state.fail_site(0)
+        proto.on_network_change(tracker)
+        for a, b in zip(proto.grant_masks(tracker), static.grant_masks(tracker)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_effective_assignment_none_when_down(self, setup):
+        topo, state, tracker, proto = setup
+        state.fail_site(3)
+        proto.on_network_change(tracker)
+        assert proto.effective_assignment(tracker, 3) is None
+
+    def test_reset_restores_initial(self, setup):
+        topo, state, tracker, proto = setup
+        assert proto.try_reassign(tracker, 0, QuorumAssignment(6, 1, 6))
+        proto.reset()
+        assert proto.max_version() == 1
+        assert proto.installs == 0
+
+
+class TestReassignmentRules:
+    def test_reassign_in_full_network(self, setup):
+        topo, state, tracker, proto = setup
+        new = QuorumAssignment.read_one_write_all(6)
+        assert proto.try_reassign(tracker, 0, new)
+        assert proto.max_version() == 2
+        assert proto.effective_assignment(tracker, 5) == new
+        assert proto.installs == 1
+
+    def test_reassign_requires_write_quorum_under_old(self, setup):
+        topo, state, tracker, proto = setup
+        # Partition ring into 3+3; majority q_w = 4 > 3: neither side may change.
+        state.fail_link(topo.link_id(0, 1))
+        state.fail_link(topo.link_id(3, 4))
+        proto.on_network_change(tracker)
+        new = QuorumAssignment.read_one_write_all(6)
+        assert not proto.try_reassign(tracker, 1, new)
+        assert not proto.try_reassign(tracker, 4, new)
+        assert proto.max_version() == 1
+
+    def test_old_assignment_governs_the_change(self, setup):
+        topo, state, tracker, proto = setup
+        # Install ROWA (q_w = 6) while whole; then a 5-site component that
+        # could change under majority must NOT be able to change under ROWA.
+        assert proto.try_reassign(tracker, 0, QuorumAssignment.read_one_write_all(6))
+        state.fail_site(0)
+        proto.on_network_change(tracker)
+        assert not proto.try_reassign(tracker, 2, QuorumAssignment.majority(6))
+
+    def test_down_site_cannot_reassign(self, setup):
+        topo, state, tracker, proto = setup
+        state.fail_site(2)
+        proto.on_network_change(tracker)
+        assert not proto.try_reassign(tracker, 2, QuorumAssignment.read_one_write_all(6))
+
+    def test_wrong_total_votes_rejected(self, setup):
+        topo, state, tracker, proto = setup
+        with pytest.raises(ProtocolError):
+            proto.try_reassign(tracker, 0, QuorumAssignment.majority(8))
+
+    def test_version_propagates_on_merge(self, setup):
+        topo, state, tracker, proto = setup
+        # Isolate site 3 (it misses the reassignment).
+        state.fail_site(3)
+        proto.on_network_change(tracker)
+        new = QuorumAssignment(6, 2, 5)
+        assert proto.try_reassign(tracker, 0, new)
+        assert proto.site_version[3] == 1
+        # Site 3 comes back; on the merge it must learn version 2.
+        state.repair_site(3)
+        proto.on_network_change(tracker)
+        assert proto.site_version[3] == 2
+        assert proto.site_assignment[3] == new
+
+
+class TestSafetyModel:
+    """Randomized executable proof of the QR safety property."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_access_granted_under_stale_assignment(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = ring_with_chords(9, 2)
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        T = topo.total_votes
+        proto = QuorumReassignmentProtocol(T, QuorumAssignment.majority(T))
+        proto.on_network_change(tracker)
+
+        assignments = [
+            QuorumAssignment.majority(T),
+            QuorumAssignment.read_one_write_all(T),
+            QuorumAssignment(T, 2, T - 1),
+            QuorumAssignment(T, 3, T - 2),
+        ]
+
+        for _ in range(400):
+            move = rng.integers(0, 3)
+            if move == 0:  # flip a site
+                s = int(rng.integers(0, topo.n_sites))
+                state.set_site(s, not state.site_up[s])
+                proto.on_network_change(tracker)
+            elif move == 1:  # flip a link
+                l = int(rng.integers(0, topo.n_links))
+                state.set_link(l, not state.link_up[l])
+                proto.on_network_change(tracker)
+            else:  # attempt a reassignment from a random site
+                s = int(rng.integers(0, topo.n_sites))
+                proto.try_reassign(
+                    tracker, s, assignments[int(rng.integers(0, len(assignments)))]
+                )
+
+            # INVARIANT: any site currently granted any access sits in a
+            # component that knows the globally newest assignment.
+            read_mask, write_mask = proto.grant_masks(tracker)
+            newest = proto.max_version()
+            granted = np.nonzero(read_mask | write_mask)[0]
+            for site in granted:
+                members = tracker.component_of(int(site))
+                assert int(proto.site_version[members].max()) == newest, (
+                    f"site {site} granted access under version "
+                    f"{proto.site_version[members].max()} < {newest}"
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_at_most_one_component_can_write(self, seed):
+        """q_w > T/2 under *any* installed assignment: writes never happen
+        in two components at once."""
+        rng = np.random.default_rng(100 + seed)
+        topo = ring_with_chords(8, 1)
+        state = NetworkState(topo)
+        tracker = ComponentTracker(state)
+        T = topo.total_votes
+        proto = QuorumReassignmentProtocol(T, QuorumAssignment.majority(T))
+        proto.on_network_change(tracker)
+
+        for _ in range(300):
+            s = int(rng.integers(0, topo.n_sites + topo.n_links))
+            if s < topo.n_sites:
+                state.set_site(s, not state.site_up[s])
+            else:
+                l = s - topo.n_sites
+                state.set_link(l, not state.link_up[l])
+            proto.on_network_change(tracker)
+            if rng.random() < 0.3:
+                q_r = int(rng.integers(1, T // 2 + 1))
+                proto.try_reassign(
+                    tracker,
+                    int(rng.integers(0, topo.n_sites)),
+                    QuorumAssignment.from_read_quorum(T, q_r),
+                )
+            _, write_mask = proto.grant_masks(tracker)
+            writers = np.nonzero(write_mask)[0]
+            labels = {int(tracker.labels[w]) for w in writers}
+            assert len(labels) <= 1

@@ -1,0 +1,86 @@
+"""Unit tests for VoteAssignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VoteAssignmentError
+from repro.quorum.votes import VoteAssignment
+
+
+class TestConstruction:
+    def test_basic(self):
+        va = VoteAssignment([1, 2, 3])
+        assert va.n_sites == 3
+        assert va.total == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment([1, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment([0, 0])
+
+    def test_read_only(self):
+        va = VoteAssignment([1, 1])
+        with pytest.raises(ValueError):
+            va.votes[0] = 9
+
+    def test_input_not_aliased(self):
+        src = np.array([1, 2, 3])
+        va = VoteAssignment(src)
+        src[0] = 99
+        assert va.votes[0] == 1
+
+
+class TestConstructors:
+    def test_uniform(self):
+        va = VoteAssignment.uniform(5)
+        assert va.total == 5
+        assert va.is_uniform()
+
+    def test_uniform_multi_vote(self):
+        assert VoteAssignment.uniform(4, votes_per_site=3).total == 12
+
+    def test_uniform_rejects_bad_args(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment.uniform(0)
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment.uniform(3, votes_per_site=0)
+
+    def test_single_site(self):
+        va = VoteAssignment.single_site(4, 2)
+        assert va.total == 1
+        assert va.votes[2] == 1
+        assert not va.is_uniform()
+
+    def test_single_site_bad_index(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment.single_site(4, 4)
+
+
+class TestQueries:
+    def test_votes_of_component(self):
+        va = VoteAssignment([1, 2, 3, 4])
+        assert va.votes_of([0, 2]) == 4
+        assert va.votes_of([]) == 0
+
+    def test_votes_of_rejects_duplicates(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment([1, 1]).votes_of([0, 0])
+
+    def test_votes_of_rejects_out_of_range(self):
+        with pytest.raises(VoteAssignmentError):
+            VoteAssignment([1, 1]).votes_of([5])
+
+    def test_equality_hash(self):
+        assert VoteAssignment([1, 2]) == VoteAssignment([1, 2])
+        assert hash(VoteAssignment([1, 2])) == hash(VoteAssignment([1, 2]))
+        assert VoteAssignment([1, 2]) != VoteAssignment([2, 1])
+
+    def test_zero_vote_site_not_uniform(self):
+        assert not VoteAssignment([0, 1]).is_uniform()

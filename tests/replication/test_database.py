@@ -1,0 +1,185 @@
+"""Integration tests for the replicated database data path."""
+
+import pytest
+
+from repro.errors import ProtocolError, SerializabilityError
+from repro.protocols.base import ReplicaControlProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.reassignment import QuorumReassignmentProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.replication.database import ReplicatedDatabase
+from repro.replication.transaction import AccessOutcome
+from repro.topology.generators import ring
+
+
+def make_db(n=5, q_r=2, initial="v0"):
+    topo = ring(n)
+    proto = QuorumConsensusProtocol(QuorumAssignment.from_read_quorum(n, q_r))
+    return ReplicatedDatabase(topo, proto, initial_value=initial)
+
+
+class TestHappyPath:
+    def test_initial_read(self):
+        db = make_db()
+        res = db.submit_read(0)
+        assert res.granted
+        assert res.value == "v0"
+        assert res.timestamp == 0
+
+    def test_write_then_read_any_site(self):
+        db = make_db()
+        w = db.submit_write(2, "v1")
+        assert w.granted
+        assert len(w.updated_sites) == 5
+        for site in range(5):
+            assert db.submit_read(site).value == "v1"
+
+    def test_timestamps_monotone(self):
+        db = make_db()
+        t1 = db.submit_write(0, "a").timestamp
+        t2 = db.submit_write(1, "b").timestamp
+        assert t2 > t1
+
+    def test_history_and_counts(self):
+        db = make_db()
+        db.submit_read(0)
+        db.submit_write(1, "x")
+        db.fail_site(3)
+        db.submit_read(3)
+        counts = db.grant_counts()
+        assert counts["read:granted"] == 1
+        assert counts["write:granted"] == 1
+        assert counts["read:site_down"] == 1
+
+
+class TestDenials:
+    def test_down_site_denied(self):
+        db = make_db()
+        db.fail_site(2)
+        res = db.submit_read(2)
+        assert res.outcome is AccessOutcome.SITE_DOWN
+
+    def test_no_quorum_denied(self):
+        db = make_db(n=5, q_r=2)  # q_w = 4
+        # Isolate site 0: component of 1 vote < q_r = 2.
+        db.fail_link(0, 1)
+        db.fail_link(4, 0)
+        res = db.submit_read(0)
+        assert res.outcome is AccessOutcome.NO_QUORUM
+        assert res.component_votes == 1
+
+    def test_partition_blocks_minority_writes(self):
+        db = make_db(n=5, q_r=2)  # q_w = 4
+        db.fail_link(0, 1)
+        db.fail_link(2, 3)
+        # Component {1, 2} has 2 votes: reads ok, writes denied.
+        assert db.submit_read(1).granted
+        assert db.submit_write(1, "nope").outcome is AccessOutcome.NO_QUORUM
+
+
+class TestConsistencyAcrossPartitions:
+    def test_reads_after_heal_see_partition_write(self):
+        db = make_db(n=5, q_r=2)  # q_w = 4
+        db.fail_site(4)
+        # Component {0,1,2,3} has 4 votes: write allowed.
+        assert db.submit_write(0, "during-partition").granted
+        db.repair_site(4)
+        # Site 4's copy is stale, but a read anywhere must return the new
+        # value because the read path takes the newest copy in the component.
+        assert db.submit_read(4).value == "during-partition"
+
+    def test_stale_copy_visible_in_raw_store(self):
+        db = make_db(n=5, q_r=2)
+        db.fail_site(4)
+        db.submit_write(0, "new")
+        assert db.copy_at(4).timestamp == 0   # missed the write
+        assert db.copy_at(0).timestamp == 1
+
+    def test_serializability_checker_catches_broken_protocol(self):
+        """A deliberately unsafe protocol (grants everything) must trip the
+        one-copy-serializability check after a partitioned write."""
+
+        class YesProtocol(ReplicaControlProtocol):
+            name = "always-yes"
+
+            def grant_masks(self, tracker):
+                import numpy as np
+
+                up = tracker.labels >= 0
+                return up, up.copy()
+
+        topo = ring(4)
+        db = ReplicatedDatabase(topo, YesProtocol(), initial_value="v0")
+        # Partition into {0,1} and {2,3}.
+        db.fail_link(1, 2)
+        db.fail_link(3, 0)
+        db.submit_write(0, "left")     # updates copies at 0, 1 only
+        with pytest.raises(SerializabilityError):
+            db.submit_read(2)          # sees stale v0: checker fires
+
+    def test_checker_can_be_disabled(self):
+        class YesProtocol(ReplicaControlProtocol):
+            name = "always-yes"
+
+            def grant_masks(self, tracker):
+                up = tracker.labels >= 0
+                return up, up.copy()
+
+        topo = ring(4)
+        db = ReplicatedDatabase(topo, YesProtocol(), initial_value="v0",
+                                check_serializability=False)
+        db.fail_link(1, 2)
+        db.fail_link(3, 0)
+        db.submit_write(0, "left")
+        stale = db.submit_read(2)
+        assert stale.value == "v0"  # observably stale without the checker
+
+
+class TestWithDynamicProtocol:
+    def test_qr_protocol_drives_database(self):
+        topo = ring(5)
+        proto = QuorumReassignmentProtocol(5, QuorumAssignment.majority(5))
+        db = ReplicatedDatabase(topo, proto, initial_value=0)
+        assert db.submit_write(0, 1).granted
+        # Reassign to ROWA from the full network, then partition.
+        assert proto.try_reassign(db.tracker, 0, QuorumAssignment.read_one_write_all(5))
+        db.fail_site(4)
+        # ROWA: writes need all 5 votes -> denied; reads need 1 -> granted.
+        assert db.submit_write(0, 2).outcome is AccessOutcome.NO_QUORUM
+        assert db.submit_read(0).value == 1
+
+
+class TestValidation:
+    def test_vote_mismatch_rejected(self):
+        from repro.replication.item import ReplicatedItem
+
+        topo = ring(5)
+        item = ReplicatedItem.at_sites("x", [0, 1])
+        proto = QuorumConsensusProtocol(QuorumAssignment.majority(2))
+        with pytest.raises(ProtocolError):
+            ReplicatedDatabase(topo, proto, item=item)
+
+    def test_partial_replication_with_matching_votes(self):
+        from repro.replication.item import ReplicatedItem
+
+        base = ring(5)
+        item = ReplicatedItem.at_sites("x", [0, 2, 4])
+        topo = base.with_votes(item.votes_vector(5))
+        proto = QuorumConsensusProtocol(QuorumAssignment.majority(3))
+        db = ReplicatedDatabase(topo, proto, item=item, initial_value="v")
+        # Site 1 holds no copy but may still submit accesses.
+        res = db.submit_read(1)
+        assert res.granted
+        assert res.value == "v"
+
+    def test_unknown_site(self):
+        db = make_db()
+        with pytest.raises(Exception):
+            db.submit_read(99)
+
+    def test_time_advances(self):
+        db = make_db()
+        db.advance_time(2.5)
+        assert db.submit_read(0).time == 2.5
+        with pytest.raises(Exception):
+            db.advance_time(-1.0)

@@ -1,0 +1,140 @@
+"""Tests for the multi-item database."""
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.replication.item import ReplicatedItem
+from repro.replication.multidb import ItemBinding, MultiItemDatabase
+from repro.replication.transaction import AccessOutcome
+from repro.topology.generators import ring
+
+
+def qc(T, q_r):
+    return QuorumConsensusProtocol(QuorumAssignment.from_read_quorum(T, q_r))
+
+
+@pytest.fixture
+def db():
+    """A 6-site ring with a read-tuned catalog and a write-tuned ledger.
+
+    catalog: fully replicated, ROWA-ish (q_r=1, q_w=6).
+    ledger: fully replicated, majority (q_r=3, q_w=4).
+    config: partially replicated at sites {0, 2, 4}, majority of 3.
+    """
+    topo = ring(6)
+    catalog = ItemBinding(
+        ReplicatedItem.fully_replicated("catalog", topo), qc(6, 1), "cat0"
+    )
+    ledger = ItemBinding(
+        ReplicatedItem.fully_replicated("ledger", topo), qc(6, 3), 0
+    )
+    config = ItemBinding(
+        ReplicatedItem.at_sites("config", [0, 2, 4]), qc(3, 1), "cfg0"
+    )
+    return MultiItemDatabase(topo, [catalog, ledger, config])
+
+
+class TestConstruction:
+    def test_item_ids(self, db):
+        assert set(db.item_ids) == {"catalog", "ledger", "config"}
+
+    def test_duplicate_ids_rejected(self):
+        topo = ring(4)
+        binding = ItemBinding(ReplicatedItem.fully_replicated("x", topo), qc(4, 2))
+        with pytest.raises(ReproError):
+            MultiItemDatabase(topo, [binding, binding])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            MultiItemDatabase(ring(4), [])
+
+
+class TestSingleItemOps:
+    def test_read_write_round_trip(self, db):
+        assert db.read("catalog", 3).value == "cat0"
+        w = db.write("ledger", 2, 42)
+        assert w.granted
+        assert db.read("ledger", 5).value == 42
+
+    def test_per_item_quorums_differ(self, db):
+        # Partition the ring into {1,2} and {3,4,5,0}.
+        db.fail_link(0, 1)
+        db.fail_link(2, 3)
+        # catalog (q_r=1): readable in both fragments.
+        assert db.read("catalog", 1).granted
+        assert db.read("catalog", 4).granted
+        # ledger (q_r=3): only the 4-site fragment reads; neither writes
+        # fails... q_w=4 -> the big fragment CAN write.
+        assert db.read("ledger", 1).outcome is AccessOutcome.NO_QUORUM
+        assert db.read("ledger", 4).granted
+        assert db.write("ledger", 4, 7).granted
+        assert db.write("ledger", 1, 8).outcome is AccessOutcome.NO_QUORUM
+
+    def test_partially_replicated_item(self, db):
+        # config lives at {0,2,4} with T=3, q_r=1, q_w=3.
+        w = db.write("config", 1, "cfg1")   # site 1 holds no copy but may submit
+        assert w.granted
+        assert set(w.updated_sites) == {0, 2, 4}
+        assert db.read("config", 5).value == "cfg1"
+
+    def test_down_site_denied(self, db):
+        db.fail_site(2)
+        assert db.read("catalog", 2).outcome is AccessOutcome.SITE_DOWN
+
+    def test_unknown_item_or_site(self, db):
+        with pytest.raises(ReproError):
+            db.read("nope", 0)
+        with pytest.raises(ReproError):
+            db.read("catalog", 99)
+
+
+class TestTransactions:
+    def test_multi_item_commit(self, db):
+        result = db.transaction(0, reads=["catalog"], writes={"ledger": 1, "config": "c"})
+        assert result.committed
+        assert result.reads["catalog"].value == "cat0"
+        assert result.writes["ledger"].timestamp == 1
+        assert db.read("config", 4).value == "c"
+
+    def test_all_or_nothing_on_quorum_denial(self, db):
+        # Partition so ledger writes fail in the small fragment but the
+        # catalog read there would succeed: nothing must be applied.
+        db.fail_link(0, 1)
+        db.fail_link(2, 3)
+        before = db.copy_at("catalog", 1).timestamp
+        result = db.transaction(1, reads=["catalog"], writes={"ledger": 99})
+        assert not result.committed
+        assert result.blocking_item == "ledger"
+        assert db.copy_at("catalog", 1).timestamp == before
+        # Ledger copies everywhere untouched.
+        assert db.copy_at("ledger", 4).value == 0
+
+    def test_validation(self, db):
+        with pytest.raises(ReproError):
+            db.transaction(0)  # empty
+        with pytest.raises(ReproError):
+            db.transaction(0, reads=["ledger"], writes={"ledger": 1})  # overlap
+
+    def test_serializability_checked_per_item(self, db):
+        """Stale reads impossible: write ledger during a partition, heal,
+        read from the formerly-isolated side."""
+        db.fail_site(1)
+        db.write("ledger", 3, 123)   # 5-site component: q_w=4 satisfied
+        db.repair_site(1)
+        assert db.read("ledger", 1).value == 123
+
+
+class TestIndependentTuning:
+    def test_items_share_one_failure_process(self, db):
+        """One partition event affects all items' trackers consistently."""
+        db.fail_link(0, 1)
+        db.fail_link(2, 3)
+        t_cat = db.tracker_for("catalog")
+        t_cfg = db.tracker_for("config")
+        # Same component structure...
+        assert (t_cat.labels == t_cfg.labels).all()
+        # ...different vote totals (config has votes only at 0, 2, 4).
+        assert t_cat.votes_at(4) == 4
+        assert t_cfg.votes_at(4) == 2

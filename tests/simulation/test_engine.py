@@ -1,0 +1,164 @@
+"""Unit and statistical tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.ring import ring_density
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.read_one_write_all import ReadOneWriteAllProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine, simulate_batch
+from repro.topology.generators import ring
+
+
+def make_config(n=7, alpha=0.5, **kw):
+    defaults = dict(
+        warmup_accesses=200.0,
+        accesses_per_batch=3_000.0,
+        n_batches=2,
+        seed=0,
+    )
+    defaults.update(kw)
+    return SimulationConfig.paper_like(ring(n), alpha=alpha, **defaults)
+
+
+class TestBatchMechanics:
+    def test_batch_result_bookkeeping(self):
+        cfg = make_config()
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        assert res.measured_time == pytest.approx(cfg.batch_time)
+        assert res.n_epochs > 0
+        assert res.n_events > 0
+        assert 0.0 <= res.availability <= 1.0
+        assert res.accesses_submitted > 0
+
+    def test_deterministic_by_seed_and_batch(self):
+        cfg = make_config(seed=42)
+        a = simulate_batch(cfg, MajorityConsensusProtocol(7), batch_index=0)
+        b = simulate_batch(cfg, MajorityConsensusProtocol(7), batch_index=0)
+        assert a.reads_granted == b.reads_granted
+        assert a.writes_granted == b.writes_granted
+        assert a.n_events == b.n_events
+
+    def test_batches_are_independent_streams(self):
+        cfg = make_config(seed=42)
+        a = simulate_batch(cfg, MajorityConsensusProtocol(7), batch_index=0)
+        b = simulate_batch(cfg, MajorityConsensusProtocol(7), batch_index=1)
+        assert a.reads_granted != b.reads_granted or a.n_events != b.n_events
+
+    def test_batch_index_insensitive_to_other_batches(self):
+        """Batch k's stream must not depend on running batches before it."""
+        cfg = make_config(seed=13)
+        engine = SimulationEngine(cfg, MajorityConsensusProtocol(7))
+        direct = engine.run_batch(2)
+        engine2 = SimulationEngine(cfg, MajorityConsensusProtocol(7))
+        engine2.run_batch(0)
+        engine2.run_batch(1)
+        replay = engine2.run_batch(2)
+        assert direct.reads_granted == replay.reads_granted
+
+    def test_expected_mode_fractional_volumes(self):
+        cfg = make_config(accounting="expected")
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        assert res.accesses_submitted == pytest.approx(3_000.0, rel=1e-9)
+
+    def test_alpha_extremes(self):
+        for alpha in (0.0, 1.0):
+            cfg = make_config(alpha=alpha)
+            res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+            if alpha == 0.0:
+                assert res.reads_submitted == 0
+            else:
+                assert res.writes_submitted == 0
+
+    def test_change_observer_called(self):
+        calls = []
+        cfg = make_config()
+        simulate_batch(
+            cfg,
+            MajorityConsensusProtocol(7),
+            change_observer=lambda t, tracker, proto: calls.append(t),
+        )
+        assert len(calls) > 0
+        assert calls == sorted(calls)
+
+
+class TestStatisticalAgreement:
+    def test_rowa_read_availability_is_site_reliability(self):
+        """At q_r = 1 a read succeeds iff the submitting site is up, so
+        read availability must equal the component reliability (paper,
+        section 5.3)."""
+        cfg = make_config(alpha=1.0, accesses_per_batch=20_000.0)
+        res = simulate_batch(cfg, ReadOneWriteAllProtocol(7))
+        assert res.read_availability == pytest.approx(cfg.component_reliability, abs=0.01)
+
+    def test_time_density_matches_ring_closed_form(self):
+        """The simulator's stationary component-vote distribution must
+        converge to the analytic ring density — three independent pieces
+        of machinery (failure processes, connectivity, closed form) meeting
+        in one number."""
+        cfg = make_config(accesses_per_batch=60_000.0)
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        expected = ring_density(7, cfg.component_reliability, cfg.component_reliability)
+        got = res.density_time.density_matrix().mean(axis=0)
+        assert np.abs(got - expected).max() < 0.02
+
+    def test_access_density_matches_time_density(self):
+        """PASTA: Poisson accesses observe time averages."""
+        cfg = make_config(accesses_per_batch=60_000.0)
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        t = res.density_time.density_matrix()
+        a = res.density_access.density_matrix()
+        assert np.abs(t - a).max() < 0.02
+
+    def test_acc_matches_figure1_algebra(self):
+        """Directly-measured ACC must agree with availability computed
+        from the run's own empirical density via the Figure-1 formula."""
+        cfg = make_config(alpha=0.5, accesses_per_batch=60_000.0)
+        q = QuorumAssignment.from_read_quorum(7, 2)
+        res = simulate_batch(cfg, QuorumConsensusProtocol(q))
+        from repro.quorum.availability import AvailabilityModel
+
+        model = AvailabilityModel.from_density_matrix(res.density_time.density_matrix())
+        predicted = float(model.availability(0.5, 2))
+        assert res.availability == pytest.approx(predicted, abs=0.02)
+
+    def test_sampled_and_expected_agree(self):
+        cfg_s = make_config(alpha=0.5, accesses_per_batch=40_000.0, accounting="sampled")
+        cfg_e = cfg_s.with_accounting("expected")
+        res_s = simulate_batch(cfg_s, MajorityConsensusProtocol(7))
+        res_e = simulate_batch(cfg_e, MajorityConsensusProtocol(7))
+        assert res_s.availability == pytest.approx(res_e.availability, abs=0.02)
+
+    def test_stationary_start_needs_no_warmup(self):
+        """With a stationary initial state and ZERO warm-up, the measured
+        density must still match the analytic stationary law — the
+        all-up reset would be badly biased under these settings."""
+        cfg = make_config(
+            accesses_per_batch=60_000.0, warmup_accesses=0.0,
+            initial_state="stationary",
+        )
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        expected = ring_density(7, cfg.component_reliability, cfg.component_reliability)
+        got = res.density_time.density_matrix().mean(axis=0)
+        assert np.abs(got - expected).max() < 0.02
+
+    def test_all_up_start_without_warmup_is_biased(self):
+        """Documents WHY the paper needs its warm-up: the same zero-warmup
+        run from the all-up reset overestimates full-component mass."""
+        cfg = make_config(accesses_per_batch=2_000.0, warmup_accesses=0.0)
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        expected = ring_density(7, cfg.component_reliability, cfg.component_reliability)
+        got = res.density_time.density_matrix().mean(axis=0)
+        # Mass at v = 7 (everything up) must exceed stationary noticeably.
+        assert got[7] > expected[7] + 0.03
+
+    def test_surv_upper_bounds_acc_per_kind(self):
+        """SURV(write) >= write ACC: if a write was granted somewhere, some
+        site could write during that epoch."""
+        cfg = make_config(alpha=0.5, accesses_per_batch=20_000.0)
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        assert res.surv_write >= res.write_availability - 0.02
+        assert res.surv_read >= res.read_availability - 0.02

@@ -1,0 +1,140 @@
+"""Edge-case tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine, simulate_batch
+from repro.simulation.workload import AccessWorkload
+from repro.topology.generators import ring
+from repro.topology.model import Topology
+
+
+def cfg_for(topo, **kw):
+    defaults = dict(
+        warmup_accesses=0.0,
+        accesses_per_batch=1_000.0,
+        n_batches=1,
+        seed=0,
+    )
+    defaults.update(kw)
+    return SimulationConfig.paper_like(topo, alpha=0.5, **defaults)
+
+
+class TestDegenerateNetworks:
+    def test_single_link_network(self):
+        topo = Topology(2, [(0, 1)])
+        res = simulate_batch(cfg_for(topo), MajorityConsensusProtocol(2))
+        assert 0.0 <= res.availability <= 1.0
+
+    def test_linkless_network(self):
+        """Isolated sites: T = 3, majority needs q_r = 1, q_w = 3 —
+        writes never succeed, reads succeed iff the site is up."""
+        topo = Topology(3, [])
+        res = simulate_batch(
+            cfg_for(topo, accesses_per_batch=20_000.0),
+            MajorityConsensusProtocol(3),
+        )
+        assert res.read_availability == pytest.approx(0.96, abs=0.02)
+        assert res.write_availability == 0.0
+
+    def test_zero_vote_sites_never_grant_alone(self):
+        """A zero-vote site's own component (when isolated) has 0 votes."""
+        topo = Topology(3, [(0, 1), (1, 2)], votes=[1, 1, 0])
+        res = simulate_batch(
+            cfg_for(topo, accesses_per_batch=5_000.0),
+            MajorityConsensusProtocol(2),
+        )
+        assert 0.0 <= res.availability <= 1.0
+
+
+class TestExtremeParameters:
+    def test_nearly_no_failures(self):
+        topo = ring(7)
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(7, 0.5),
+            mean_time_to_failure=1e9,
+            mean_time_to_repair=1.0,
+            warmup_accesses=0.0,
+            accesses_per_batch=2_000.0,
+            n_batches=1,
+            seed=1,
+        )
+        res = simulate_batch(cfg, MajorityConsensusProtocol(7))
+        assert res.availability == pytest.approx(1.0, abs=1e-6)
+        assert res.n_events == 0
+
+    def test_failure_storm(self):
+        """mttr >> mttf: the network is almost always dark, availability
+        near zero, and the engine still terminates cleanly."""
+        topo = ring(5)
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(5, 0.5),
+            mean_time_to_failure=0.5,
+            mean_time_to_repair=50.0,
+            warmup_accesses=0.0,
+            accesses_per_batch=2_000.0,
+            n_batches=1,
+            initial_state="stationary",
+            seed=2,
+        )
+        res = simulate_batch(cfg, MajorityConsensusProtocol(5))
+        assert res.availability < 0.05
+
+    def test_tiny_batch(self):
+        topo = ring(5)
+        res = simulate_batch(
+            cfg_for(topo, accesses_per_batch=1.0),
+            MajorityConsensusProtocol(5),
+        )
+        assert res.measured_time > 0
+        # Possibly zero accesses sampled; availability must not crash.
+        assert 0.0 <= res.availability <= 1.0
+
+    def test_warmup_only_boundary(self):
+        """Warm-up boundary inside a long epoch must split accounting
+        exactly: measured time equals batch_time regardless."""
+        topo = ring(5)
+        cfg = cfg_for(topo, warmup_accesses=777.0, accesses_per_batch=333.0)
+        res = simulate_batch(cfg, MajorityConsensusProtocol(5))
+        assert res.measured_time == pytest.approx(cfg.batch_time)
+
+
+class TestInfallibleComponents:
+    def test_infallible_links_only_site_events(self):
+        topo = ring(6)
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(6, 0.5),
+            mean_time_to_failure=10.0,
+            mean_time_to_repair=1.0,
+            warmup_accesses=0.0,
+            accesses_per_batch=3_000.0,
+            n_batches=1,
+            fallible_links=np.zeros(6, dtype=bool),
+            seed=3,
+        )
+        engine = SimulationEngine(cfg, MajorityConsensusProtocol(6), record_trace=True)
+        batch = engine.run_batch(0)
+        kinds = set(batch.trace.counts_by_kind())
+        assert kinds <= {"site_fail", "site_repair"}
+
+    def test_everything_infallible(self):
+        topo = ring(4)
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(4, 0.5),
+            warmup_accesses=0.0,
+            accesses_per_batch=500.0,
+            n_batches=1,
+            fallible_sites=np.zeros(4, dtype=bool),
+            fallible_links=np.zeros(4, dtype=bool),
+            seed=4,
+        )
+        res = simulate_batch(cfg, MajorityConsensusProtocol(4))
+        assert res.availability == 1.0
+        assert res.n_events == 0
+        assert res.surv_read == 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+
+
+class TestEventKind:
+    def test_classification(self):
+        assert EventKind.SITE_FAIL.is_failure
+        assert EventKind.LINK_FAIL.is_failure
+        assert EventKind.SITE_REPAIR.is_repair
+        assert EventKind.LINK_REPAIR.is_repair
+        assert not EventKind.ACCESS.is_failure
+        assert EventKind.SITE_FAIL.is_topology_change
+        assert not EventKind.ACCESS.is_topology_change
+
+
+class TestEvent:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Event(-1.0, 0, EventKind.SITE_FAIL, 0)
+        with pytest.raises(SimulationError):
+            Event(1.0, 0, EventKind.SITE_FAIL, -2)
+
+    def test_ordering_by_time_then_sequence(self):
+        early = Event(1.0, 5, EventKind.SITE_FAIL, 0)
+        late = Event(2.0, 1, EventKind.SITE_FAIL, 0)
+        tie_a = Event(3.0, 1, EventKind.SITE_FAIL, 0)
+        tie_b = Event(3.0, 2, EventKind.LINK_FAIL, 0)
+        assert early < late
+        assert tie_a < tie_b
+
+
+class TestEventQueue:
+    def test_pop_order(self):
+        q = EventQueue()
+        q.schedule(3.0, EventKind.SITE_FAIL, 1)
+        q.schedule(1.0, EventKind.LINK_FAIL, 2)
+        q.schedule(2.0, EventKind.SITE_REPAIR, 3)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_simultaneous_events_fifo(self):
+        q = EventQueue()
+        first = q.schedule(5.0, EventKind.SITE_FAIL, 1)
+        second = q.schedule(5.0, EventKind.SITE_FAIL, 2)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.SITE_FAIL, 0)
+        assert q.peek_time() == 1.0
+        assert len(q) == 1
+
+    def test_empty_queue_errors(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+        with pytest.raises(SimulationError):
+            q.peek()
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, EventKind.SITE_FAIL, 0)
+        assert q and len(q) == 1
+
+    def test_drain_until(self):
+        q = EventQueue()
+        for t in (0.5, 1.5, 2.5):
+            q.schedule(t, EventKind.SITE_FAIL, 0)
+        drained = list(q.drain_until(2.0))
+        assert [e.time for e in drained] == [0.5, 1.5]
+        assert len(q) == 1

@@ -1,0 +1,100 @@
+"""Tests for heterogeneous (per-component) failure parameters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import simulate_batch
+from repro.simulation.processes import reliability_to_repair_time
+from repro.simulation.workload import AccessWorkload
+from repro.topology.generators import ring
+
+
+class TestHeterogeneousConfig:
+    def test_vector_parameters_accepted(self):
+        topo = ring(5)
+        n = topo.n_sites + topo.n_links
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(5, 0.5),
+            mean_time_to_failure=np.full(n, 100.0),
+            mean_time_to_repair=np.full(n, 5.0),
+        )
+        rel = cfg.component_reliability
+        assert isinstance(rel, np.ndarray)
+        np.testing.assert_allclose(rel, 100.0 / 105.0)
+
+    def test_wrong_vector_length_rejected(self):
+        topo = ring(5)
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                topology=topo,
+                workload=AccessWorkload.uniform(5, 0.5),
+                mean_time_to_failure=np.full(3, 100.0),
+            )
+
+    def test_non_positive_rejected(self):
+        topo = ring(5)
+        n = topo.n_sites + topo.n_links
+        bad = np.full(n, 100.0)
+        bad[2] = 0.0
+        with pytest.raises(SimulationError):
+            SimulationConfig(
+                topology=topo,
+                workload=AccessWorkload.uniform(5, 0.5),
+                mean_time_to_failure=bad,
+            )
+
+    def test_scalar_reliability_still_scalar(self):
+        cfg = SimulationConfig.paper_like(ring(5), alpha=0.5)
+        assert isinstance(cfg.component_reliability, float)
+
+
+class TestHeterogeneousSimulation:
+    def test_flaky_site_observed_down_more(self):
+        """Site 0 gets mttf 5 vs 500 elsewhere: its empirical down mass
+        (component votes = 0) must dwarf the others'."""
+        topo = ring(6)
+        n = topo.n_sites + topo.n_links
+        mttf = np.full(n, 500.0)
+        mttf[0] = 5.0
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(6, 0.5),
+            mean_time_to_failure=mttf,
+            mean_time_to_repair=reliability_to_repair_time(0.96, 500.0),
+            warmup_accesses=0.0,
+            accesses_per_batch=30_000.0,
+            n_batches=1,
+            initial_state="stationary",
+            seed=4,
+        )
+        batch = simulate_batch(cfg, MajorityConsensusProtocol(6))
+        matrix = batch.density_time.density_matrix()
+        assert matrix[0, 0] > 3 * matrix[1:, 0].max()
+
+    def test_stationary_start_respects_heterogeneity(self):
+        """With mttf 5 / mttr 20 the flaky site is up only 20% of the
+        time; the stationary-start density must reflect that."""
+        topo = ring(6)
+        n = topo.n_sites + topo.n_links
+        mttf = np.full(n, 500.0)
+        mttr = np.full(n, 500.0 / 24.0)
+        mttf[0] = 5.0
+        mttr[0] = 20.0
+        cfg = SimulationConfig(
+            topology=topo,
+            workload=AccessWorkload.uniform(6, 0.5),
+            mean_time_to_failure=mttf,
+            mean_time_to_repair=mttr,
+            warmup_accesses=0.0,
+            accesses_per_batch=40_000.0,
+            n_batches=1,
+            initial_state="stationary",
+            seed=5,
+        )
+        batch = simulate_batch(cfg, MajorityConsensusProtocol(6))
+        down_mass = batch.density_time.density_matrix()[0, 0]
+        assert down_mass == pytest.approx(0.8, abs=0.06)

@@ -1,0 +1,122 @@
+"""Unit tests for the failure/repair processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.processes import FailureProcesses, reliability_to_repair_time
+from repro.topology.generators import ring
+
+
+class TestReliabilityConversion:
+    def test_paper_values(self):
+        # reliability .96 at mu_f = 128 -> mu_r = 128/24.
+        assert reliability_to_repair_time(0.96, 128.0) == pytest.approx(128.0 / 24.0)
+
+    def test_round_trip(self):
+        mu_f = 50.0
+        for rel in (0.5, 0.9, 0.99):
+            mu_r = reliability_to_repair_time(rel, mu_f)
+            assert mu_f / (mu_f + mu_r) == pytest.approx(rel)
+
+    def test_bounds(self):
+        with pytest.raises(SimulationError):
+            reliability_to_repair_time(1.0, 10.0)
+        with pytest.raises(SimulationError):
+            reliability_to_repair_time(0.0, 10.0)
+        with pytest.raises(SimulationError):
+            reliability_to_repair_time(0.9, 0.0)
+
+
+class TestFailureProcesses:
+    def test_component_indexing(self):
+        topo = ring(5)
+        procs = FailureProcesses(topo, 10.0, 1.0, seed=0)
+        assert procs.n_components == 10
+        assert procs.is_site_index(4)
+        assert not procs.is_site_index(5)
+        assert procs.link_id_of(5) == 0
+        with pytest.raises(SimulationError):
+            procs.link_id_of(2)
+
+    def test_stationary_reliability(self):
+        topo = ring(4)
+        procs = FailureProcesses(topo, 96.0, 4.0, seed=0)
+        np.testing.assert_allclose(procs.stationary_reliability(), 0.96)
+
+    def test_per_component_parameters(self):
+        topo = ring(3)
+        mttf = np.arange(1.0, 7.0)
+        procs = FailureProcesses(topo, mttf, 1.0, seed=0)
+        np.testing.assert_allclose(procs.mttf, mttf)
+
+    def test_bad_parameter_shapes(self):
+        topo = ring(3)
+        with pytest.raises(SimulationError):
+            FailureProcesses(topo, np.ones(5), 1.0)
+        with pytest.raises(SimulationError):
+            FailureProcesses(topo, -1.0, 1.0)
+
+    def test_infallible_masks(self):
+        topo = ring(4)
+        procs = FailureProcesses(
+            topo, 10.0, 1.0, seed=0,
+            fallible_sites=np.array([True, False, True, True]),
+            fallible_links=np.zeros(4, dtype=bool),
+        )
+        rel = procs.stationary_reliability()
+        assert rel[1] == 1.0                     # infallible site
+        np.testing.assert_allclose(rel[4:], 1.0)  # infallible links
+        queue = EventQueue()
+        procs.prime(queue)
+        assert len(queue) == 3  # only the three fallible sites
+
+    def test_prime_schedules_failures_for_everything(self):
+        topo = ring(4)
+        procs = FailureProcesses(topo, 10.0, 1.0, seed=1)
+        queue = EventQueue()
+        procs.prime(queue)
+        assert len(queue) == 8
+        kinds = {queue.pop().kind for _ in range(8)}
+        assert kinds == {EventKind.SITE_FAIL, EventKind.LINK_FAIL}
+
+    def test_failure_repair_alternation(self):
+        topo = ring(3)
+        procs = FailureProcesses(topo, 10.0, 1.0, seed=2)
+        queue = EventQueue()
+        procs.schedule_repair(queue, 5.0, EventKind.SITE_FAIL, 1)
+        repair = queue.pop()
+        assert repair.kind == EventKind.SITE_REPAIR
+        assert repair.target == 1
+        assert repair.time > 5.0
+        procs.schedule_failure(queue, repair.time, repair.kind, repair.target)
+        fail = queue.pop()
+        assert fail.kind == EventKind.SITE_FAIL
+        assert fail.time > repair.time
+
+    def test_link_alternation(self):
+        topo = ring(3)
+        procs = FailureProcesses(topo, 10.0, 1.0, seed=3)
+        queue = EventQueue()
+        procs.schedule_repair(queue, 1.0, EventKind.LINK_FAIL, 2)
+        assert queue.pop().kind == EventKind.LINK_REPAIR
+
+    def test_deterministic_with_seed(self):
+        topo = ring(4)
+        q1, q2 = EventQueue(), EventQueue()
+        FailureProcesses(topo, 10.0, 1.0, seed=7).prime(q1)
+        FailureProcesses(topo, 10.0, 1.0, seed=7).prime(q2)
+        for _ in range(8):
+            assert q1.pop().time == q2.pop().time
+
+    def test_empirical_uptime_fraction(self):
+        """Long-run fraction of time up must match mttf/(mttf+mttr)."""
+        topo = ring(3)
+        procs = FailureProcesses(topo, 4.0, 1.0, seed=11)
+        rng = procs.rng
+        up_time = down_time = 0.0
+        for _ in range(4000):
+            up_time += rng.exponential(4.0)
+            down_time += rng.exponential(1.0)
+        assert up_time / (up_time + down_time) == pytest.approx(0.8, abs=0.01)

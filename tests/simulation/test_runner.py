@@ -1,0 +1,86 @@
+"""Unit tests for the multi-batch runner and result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import ring
+
+
+def make_config(**kw):
+    defaults = dict(
+        warmup_accesses=100.0,
+        accesses_per_batch=2_000.0,
+        n_batches=3,
+        seed=5,
+    )
+    defaults.update(kw)
+    return SimulationConfig.paper_like(ring(7), alpha=0.5, **defaults)
+
+
+class TestRunSimulation:
+    def test_runs_configured_batches(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        assert res.n_batches == 3
+        assert res.protocol_name.startswith("majority")
+
+    def test_metrics_have_ci(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        stats = res.availability
+        assert stats.n_batches == 3
+        assert stats.half_width > 0.0
+        lo, hi = stats.interval
+        assert lo <= stats.mean <= hi
+
+    def test_precision_extension(self):
+        cfg = make_config(n_batches=2)
+        res = run_simulation(
+            cfg, MajorityConsensusProtocol(7), target_half_width=1e-6, max_batches=5
+        )
+        assert res.n_batches == 5  # impossible target: exhausts max_batches
+
+    def test_precision_satisfied_early(self):
+        cfg = make_config(n_batches=2)
+        res = run_simulation(
+            cfg, MajorityConsensusProtocol(7), target_half_width=0.9, max_batches=10
+        )
+        assert res.n_batches == 2
+
+    def test_max_batches_validation(self):
+        with pytest.raises(SimulationError):
+            run_simulation(make_config(n_batches=4), MajorityConsensusProtocol(7),
+                           max_batches=2)
+
+    def test_density_matrix_pooling(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        for weighting in ("time", "access"):
+            matrix = res.density_matrix(weighting)
+            assert matrix.shape == (7, 8)
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_density_matrix_bad_weighting(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        with pytest.raises(SimulationError):
+            res.density_matrix("wishful")
+
+    def test_availability_model_defaults_to_workload_weights(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        model = res.availability_model()
+        assert model.total_votes == 7
+        curve = model.curve(0.5)
+        assert curve.shape == (3,)
+        assert ((0 <= curve) & (curve <= 1)).all()
+
+    def test_summary_renders(self):
+        res = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        text = res.summary()
+        assert "availability(ACC)" in text
+        assert "ring-7" in text
+
+    def test_reproducible_end_to_end(self):
+        a = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        b = run_simulation(make_config(), MajorityConsensusProtocol(7))
+        assert a.availability.values == b.availability.values

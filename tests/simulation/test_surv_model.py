@@ -1,0 +1,87 @@
+"""Tests for the SURV optimization path (paper, footnote 3)."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_simulation
+from repro.topology.generators import ring, ring_with_chords
+
+
+def make_config(topo, alpha=0.5, accesses=30_000.0, seed=2):
+    return SimulationConfig.paper_like(
+        topo,
+        alpha=alpha,
+        warmup_accesses=0.0,
+        accesses_per_batch=accesses,
+        n_batches=2,
+        initial_state="stationary",
+        seed=seed,
+    )
+
+
+class TestMaxComponentDensity:
+    def test_is_distribution(self):
+        topo = ring(9)
+        res = run_simulation(make_config(topo), MajorityConsensusProtocol(9))
+        d = res.max_component_density()
+        assert d.shape == (10,)
+        assert d.sum() == pytest.approx(1.0)
+
+    def test_stochastically_dominates_per_site_density(self):
+        """The max component is at least as large as any site's component:
+        its upper cumulative must dominate the mixed per-site one."""
+        topo = ring(9)
+        res = run_simulation(make_config(topo), MajorityConsensusProtocol(9))
+        site = res.density_matrix("time").mean(axis=0)
+        mx = res.max_component_density()
+        site_upper = np.cumsum(site[::-1])[::-1]
+        max_upper = np.cumsum(mx[::-1])[::-1]
+        assert (max_upper >= site_upper - 1e-9).all()
+
+    def test_max_zero_only_when_all_down(self):
+        """Mass at 0 in the max density = P(every site down) — tiny."""
+        topo = ring(9)
+        res = run_simulation(make_config(topo), MajorityConsensusProtocol(9))
+        assert res.max_component_density()[0] < 0.01
+
+
+class TestSurvModelPredictions:
+    @pytest.mark.parametrize("q_r", [1, 3, 4])
+    def test_predicts_measured_surv(self, q_r):
+        """SURV measured by the engine for a protocol must match the
+        upper-cumulative prediction from the pooled max-component density."""
+        topo = ring_with_chords(9, 1)
+        cfg = make_config(topo, accesses=40_000.0)
+        proto = QuorumConsensusProtocol(QuorumAssignment.from_read_quorum(9, q_r))
+        res = run_simulation(cfg, proto)
+        model = res.surv_model()
+        pred_read = float(model.read_availability(q_r))
+        pred_write = float(model.write_availability_at(q_r))
+        assert res.surv_read.mean == pytest.approx(pred_read, abs=0.02)
+        assert res.surv_write.mean == pytest.approx(pred_write, abs=0.02)
+
+    def test_surv_optimum_is_never_below_acc_optimum_value(self):
+        """SURV >= ACC pointwise, so the SURV-optimal value dominates."""
+        topo = ring(15)
+        res = run_simulation(make_config(topo, accesses=30_000.0),
+                             MajorityConsensusProtocol(15))
+        acc = optimal_read_quorum(res.availability_model(), 0.5)
+        surv = optimal_read_quorum(res.surv_model(), 0.5)
+        assert surv.availability >= acc.availability - 1e-9
+
+    def test_surv_favors_larger_write_quorums_than_acc_on_rings(self):
+        """SURV only needs ONE component to clear the quorum, so majority
+        hurts it much less than it hurts ACC — the paper's observation
+        that SURV favors protocols producing small distinguished
+        components. Check the majority-edge gap."""
+        topo = ring(15)
+        res = run_simulation(make_config(topo, accesses=30_000.0),
+                             MajorityConsensusProtocol(15))
+        acc_curve = res.availability_model().curve(0.0)
+        surv_curve = res.surv_model().curve(0.0)
+        assert surv_curve[-1] > acc_curve[-1] + 0.05

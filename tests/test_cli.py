@@ -1,0 +1,183 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestOptimize:
+    def test_basic_ring(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "optimize", "--family", "ring", "--sites", "31",
+            "--alpha", "0.9",
+        )
+        assert code == 0
+        assert "optimal quorums" in out
+        assert "q_r=2" in out  # known optimum for ring-31 at alpha=.9
+
+    def test_complete_low_alpha_majority(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "optimize", "--family", "complete", "--sites", "20",
+            "--alpha", "0.25",
+        )
+        assert code == 0
+        assert "q_r=10" in out
+
+    def test_write_floor_reported(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "optimize", "--family", "ring", "--sites", "101",
+            "--alpha", "0.75", "--write-floor", "0.05",
+        )
+        assert code == 0
+        assert "write floor" in out
+        assert "write-floor(0.05)" in out
+
+    def test_infeasible_floor_clean_error(self, capsys):
+        code, out, err = run_cli(
+            capsys, "optimize", "--family", "ring", "--sites", "101",
+            "--alpha", "0.75", "--write-floor", "0.99",
+        )
+        assert code == 2
+        assert "error:" in err
+        assert "best achievable" in err
+
+    def test_bus_family(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "optimize", "--family", "bus", "--sites", "15",
+            "--alpha", "0.5",
+        )
+        assert code == 0
+
+    def test_methods(self, capsys):
+        for method in ("endpoints", "golden", "brent"):
+            code, out, _ = run_cli(
+                capsys, "optimize", "--family", "ring", "--sites", "21",
+                "--alpha", "1.0", "--method", method,
+            )
+            assert code == 0
+            assert "q_r=1" in out
+
+
+class TestSimulate:
+    def test_majority(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--chords", "2", "--scale", "test", "--seed", "3",
+        )
+        assert code == 0
+        assert "availability(ACC)" in out
+        assert "95% CI" in out
+
+    def test_explicit_quorum(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--chords", "0", "--scale", "test",
+            "--protocol", "quorum", "--read-quorum", "2",
+        )
+        assert code == 0
+        assert "q_r=2" in out
+
+    def test_quorum_requires_read_quorum(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--protocol", "quorum", "--scale", "test"])
+
+    def test_rowa_and_primary(self, capsys):
+        for protocol in ("rowa", "primary"):
+            code, out, _ = run_cli(
+                capsys, "simulate", "--chords", "0", "--scale", "test",
+                "--protocol", protocol,
+            )
+            assert code == 0
+
+
+class TestReports:
+    def test_figure(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "figure", "--chords", "0", "--scale", "test", "--points", "6",
+        )
+        assert code == 0
+        assert "availability vs read quorum" in out
+        assert "convergence spread" in out
+
+    def test_figure_chart_mode(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "figure", "--chords", "0", "--scale", "test", "--chart",
+        )
+        assert code == 0
+        assert "(* overlap)" in out
+        assert "a=0.75" in out
+
+    def test_rw_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "rw-table", "--chords", "0", "2", "--scale", "test",
+        )
+        assert code == 0
+        assert "regime" in out
+        assert "topology-2" in out
+
+    def test_write_constraint(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "write-constraint", "--chords", "2", "--scale", "test",
+            "--floors", "0.0", "0.5",
+        )
+        assert code == 0
+        assert "floor A_w" in out
+
+
+class TestVotesAndShootout:
+    def test_votes_hillclimb(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "votes", "--sites", "6", "--chords", "1",
+            "--flaky-every", "3", "--samples", "300",
+        )
+        assert code == 0
+        assert "vote vector" in out
+        assert "hillclimb" in out
+
+    def test_votes_exhaustive_tiny(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "votes", "--sites", "4", "--chords", "0",
+            "--total-votes", "4", "--method", "exhaustive",
+            "--samples", "200",
+        )
+        assert code == 0
+        assert "exhaustive" in out
+
+    def test_shootout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shootout", "--chords", "1", "--scale", "test",
+        )
+        assert code == 0
+        for name in ("majority", "rowa", "primary-copy", "dynamic-voting"):
+            assert name in out
+
+
+class TestCampaign:
+    def test_campaign_runs(self, capsys):
+        code, out, _ = run_cli(capsys, "campaign", "--scale", "test")
+        assert code == 0
+        assert "--- Figure 2 ---" in out
+        assert "--- section 5.5 ---" in out
+
+
+class TestValidate:
+    def test_validate_runs_and_passes(self, capsys):
+        # The default validation scale takes a few seconds; acceptable for
+        # one integration test of the full battery through the CLI.
+        code, out, _ = run_cli(capsys, "validate", "--seed", "1")
+        assert code == 0
+        assert "REPRODUCTION VALID" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
