@@ -13,6 +13,8 @@ writing Python:
 - ``rw-table``          — the section 5.5 read-write-ratio summary over
   several topologies.
 - ``write-constraint``  — the section 5.4 floor sweep for one topology.
+- ``chaos``             — scripted fault-injection campaign with invariant
+  monitoring (DESIGN.md: "Chaos engineering the quorum layer").
 
 All commands accept ``--seed`` for exact reproducibility.
 """
@@ -115,6 +117,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config,
         protocol,
         target_half_width=args.target_half_width,
+        fail_fast=not args.keep_going,
     )
     print(result.summary())
     return 0
@@ -232,6 +235,88 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+_CHAOS_SCENARIOS = ("partition", "flap", "cascade", "correlated", "mixed")
+
+
+def _chaos_schedule(scenario: str, n_sites: int, horizon: float):
+    """A canned adversarial scenario scaled to the batch horizon."""
+    from repro.faults.schedule import (
+        CascadingFailure,
+        CorrelatedFailure,
+        FaultSchedule,
+        FlappingSite,
+        ScriptedPartition,
+    )
+
+    half = list(range(n_sites // 2))
+    injectors = {
+        # Split half the sites off, merge back, then split differently —
+        # the section-2.2 merge/split stressor.
+        "partition": [
+            ScriptedPartition(0.2 * horizon, [half], heal_at=0.45 * horizon),
+            ScriptedPartition(0.55 * horizon, [half[::2]], heal_at=0.8 * horizon),
+        ],
+        "flap": [
+            FlappingSite(0, period=horizon / 10.0, until=0.9 * horizon),
+            FlappingSite(1, period=horizon / 7.0, until=0.9 * horizon),
+        ],
+        "cascade": [
+            CascadingFailure(0.2 * horizon, half[:3] or [0],
+                             delay=horizon / 20.0, heal_at=0.7 * horizon),
+        ],
+        "correlated": [
+            CorrelatedFailure(sites=[0, 1], mean_interval=horizon / 4.0,
+                              until=0.85 * horizon, down_time=horizon / 20.0),
+        ],
+    }
+    injectors["mixed"] = (
+        injectors["partition"][:1]
+        + [FlappingSite(n_sites - 1, period=horizon / 8.0, until=0.9 * horizon)]
+        + [CascadingFailure(0.5 * horizon, [n_sites - 2, n_sites - 3],
+                            delay=horizon / 30.0, heal_at=0.85 * horizon)]
+    )
+    return FaultSchedule(injectors[scenario])
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos_campaign, unchecked_assignment
+    from repro.faults.monitor import InvariantMonitor
+    from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+
+    scale = _scale(args.scale)
+    config = scale.config(args.chords, alpha=args.alpha, seed=args.seed)
+    topology = config.topology
+    horizon = config.warmup_time + config.batch_time
+    schedule = _chaos_schedule(args.scenario, topology.n_sites, horizon)
+    config = config.with_fault_schedule(schedule)
+    if args.broken:
+        # Deliberately violate q_r + q_w > T (and q_w > T/2): the campaign
+        # must FAIL with quorum-intersection violations, proving the
+        # monitor catches what construction-time validation would.
+        T = topology.total_votes
+        protocol = QuorumConsensusProtocol(unchecked_assignment(T, 1, T // 2))
+    else:
+        protocol = _make_protocol(args.protocol, topology.total_votes,
+                                  args.read_quorum)
+    monitor = InvariantMonitor(max_records=args.max_violations)
+    report = run_chaos_campaign(
+        config,
+        protocol,
+        n_batches=args.batches,
+        monitor=monitor,
+        fail_fast=args.fail_fast,
+    )
+    print(report.summary())
+    if args.show_violations and report.violations:
+        print()
+        for record in report.violations[: args.show_violations]:
+            print(f"  {record}")
+        hidden = len(report.violations) - args.show_violations
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
+    return 0 if report.passed else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validation import validate_reproduction
 
@@ -276,7 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--target-half-width", type=float, default=None,
                      help="add batches until the 95%% CI half-width reaches this")
     sim.add_argument("--seed", type=int, default=0)
-    sim.set_defaults(func=_cmd_simulate)
+    group = sim.add_mutually_exclusive_group()
+    group.add_argument("--fail-fast", dest="keep_going", action="store_false",
+                       help="abort the whole run on the first batch error (default)")
+    group.add_argument("--keep-going", dest="keep_going", action="store_true",
+                       help="quarantine failed batches (with seed + fault trace "
+                       "for replay) and continue")
+    sim.set_defaults(func=_cmd_simulate, keep_going=False)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure's series")
     fig.add_argument("--chords", type=int, default=0)
@@ -337,6 +428,35 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--full", action="store_true",
                       help="include the fully-connected topology (slow)")
     camp.set_defaults(func=_cmd_campaign)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign with invariant monitoring",
+    )
+    chaos.add_argument("--scenario", choices=_CHAOS_SCENARIOS, default="mixed")
+    chaos.add_argument("--chords", type=int, default=2)
+    chaos.add_argument("--alpha", type=float, default=0.5)
+    chaos.add_argument("--protocol", default="majority",
+                       choices=("majority", "rowa", "primary", "quorum"))
+    chaos.add_argument("--read-quorum", type=int, default=None)
+    chaos.add_argument("--broken", action="store_true",
+                       help="inject a deliberately invalid quorum assignment "
+                       "(q_r + q_w <= T); the campaign must FAIL")
+    chaos.add_argument("--batches", type=int, default=None,
+                       help="batches to run (default: the scale's n_batches)")
+    chaos.add_argument("--scale", choices=_SCALES, default="test")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--max-violations", type=int, default=1000,
+                       help="cap on recorded violation records")
+    chaos.add_argument("--show-violations", type=int, default=5,
+                       help="print up to this many violation records")
+    chaos_group = chaos.add_mutually_exclusive_group()
+    chaos_group.add_argument("--fail-fast", dest="fail_fast", action="store_true",
+                             help="abort on the first batch error instead of "
+                             "quarantining it")
+    chaos_group.add_argument("--keep-going", dest="fail_fast", action="store_false",
+                             help="quarantine failed batches and continue (default)")
+    chaos.set_defaults(func=_cmd_chaos, fail_fast=False)
 
     val = sub.add_parser(
         "validate",

@@ -4,12 +4,21 @@ All library-raised errors derive from :class:`ReproError` so callers can
 catch everything coming out of this package with a single ``except`` clause
 while still letting programming errors (``TypeError`` and friends raised by
 numpy or the standard library) propagate unchanged.
+
+Fault-layer errors (:class:`FaultInjectionError`, :class:`InvariantViolation`,
+:class:`BatchExecutionError`) additionally carry *structured context* — the
+simulated time, a component snapshot, and the seed that reproduces the run —
+via the :class:`ContextualError` mixin, so a chaos campaign can quarantine
+and replay a failure instead of losing it in a formatted message string.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 __all__ = [
     "ReproError",
+    "ContextualError",
     "TopologyError",
     "QuorumConstraintError",
     "VoteAssignmentError",
@@ -18,11 +27,53 @@ __all__ = [
     "DensityError",
     "OptimizationError",
     "SerializabilityError",
+    "FaultInjectionError",
+    "InvariantViolation",
+    "BatchExecutionError",
 ]
 
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
+
+
+class ContextualError(ReproError):
+    """A :class:`ReproError` carrying structured, machine-readable context.
+
+    ``sim_time`` is the simulated time at which the error surfaced,
+    ``seed`` whatever seed reproduces the run, and ``snapshot`` an
+    arbitrary JSON-compatible dict (typically component labels plus
+    site/link up-masks). All are optional; the formatted message appends
+    whatever is present so plain ``str(exc)`` stays informative.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        sim_time: Optional[float] = None,
+        seed: Optional[int] = None,
+        snapshot: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.sim_time = sim_time
+        self.seed = seed
+        self.snapshot = dict(snapshot) if snapshot else {}
+        parts = [message]
+        if sim_time is not None:
+            parts.append(f"[t={sim_time:.4g}]")
+        if seed is not None:
+            parts.append(f"[seed={seed}]")
+        super().__init__(" ".join(parts))
+        self.message = message
+
+    def context(self) -> Dict[str, Any]:
+        """The structured context as one JSON-compatible dict."""
+        return {
+            "message": self.message,
+            "sim_time": self.sim_time,
+            "seed": self.seed,
+            "snapshot": self.snapshot,
+        }
 
 
 class TopologyError(ReproError):
@@ -70,3 +121,65 @@ class SerializabilityError(ReproError):
     exists so that tests can prove the protocol machinery actually enforces
     one-copy serializability rather than assuming it.
     """
+
+
+class FaultInjectionError(ContextualError):
+    """Raised when a fault schedule is malformed or cannot be applied.
+
+    Examples: a scripted partition naming a site outside the topology, a
+    flapping schedule with a non-positive period, or a correlated-failure
+    group whose members overlap a component the stochastic processes were
+    told to keep infallible.
+    """
+
+
+class InvariantViolation(ContextualError):
+    """A broken safety invariant observed by the chaos monitor.
+
+    During chaos runs the :class:`~repro.faults.monitor.InvariantMonitor`
+    *records* these (with full event context) instead of raising them
+    mid-batch; ``raise_on_violation=True`` turns them back into hard
+    failures for tests. ``rule`` names the violated invariant
+    (``"quorum-intersection"``, ``"write-write-intersection"``,
+    ``"version-regression"``, ``"stale-assignment-grant"``,
+    ``"concurrent-writes"``, ``"one-copy-serializability"``).
+    """
+
+    def __init__(self, message: str, *, rule: str = "unknown", **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.rule = rule
+
+    def context(self) -> Dict[str, Any]:
+        ctx = super().context()
+        ctx["rule"] = self.rule
+        return ctx
+
+
+class BatchExecutionError(ContextualError, SimulationError):
+    """One simulated batch died mid-flight.
+
+    Wraps whatever the protocol or accounting raised, annotated with the
+    batch index, the seed that reproduces it, and the partial fault trace
+    recorded up to the failure — everything the campaign runner needs to
+    quarantine the batch for replay and keep the campaign going.
+    Subclasses :class:`SimulationError` so existing ``except
+    SimulationError`` call sites keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        batch_index: int,
+        trace: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.batch_index = batch_index
+        self.trace = trace
+
+    def context(self) -> Dict[str, Any]:
+        ctx = super().context()
+        ctx["batch_index"] = self.batch_index
+        ctx["trace_events"] = None if self.trace is None else len(self.trace)
+        return ctx

@@ -1,0 +1,56 @@
+"""Chaos fault-injection subsystem.
+
+The stochastic failure model in :mod:`repro.simulation.processes` answers
+"how available is this protocol on average?"; this package answers "does
+the protocol stay *safe* when failures are adversarial?". It has three
+parts, mirroring a production chaos-engineering stack:
+
+- :mod:`repro.faults.schedule` — deterministic, seedable fault injectors
+  (scripted partitions, correlated shared-risk groups, flapping sites,
+  cascading failures) pluggable into the simulation engine alongside the
+  exponential processes;
+- :mod:`repro.faults.monitor` — an invariant monitor that continuously
+  asserts quorum intersection, the QR installation/propagation rules, and
+  one-copy serializability, *recording* violations with full event
+  context instead of aborting the run;
+- :mod:`repro.faults.retry` / :mod:`repro.faults.chaos` — resilient
+  access paths (bounded, jittered retries in simulated time) and the
+  chaos campaign runner that quarantines failed batches for replay.
+"""
+
+from repro.faults.chaos import (
+    ChaosReport,
+    replay_batch,
+    run_chaos_campaign,
+    unchecked_assignment,
+)
+from repro.faults.monitor import InvariantMonitor, ViolationRecord
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    CascadingFailure,
+    CorrelatedFailure,
+    FaultInjector,
+    FaultSchedule,
+    FlappingSite,
+    LinkCut,
+    ScriptedPartition,
+    SiteCrash,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "SiteCrash",
+    "LinkCut",
+    "ScriptedPartition",
+    "FlappingSite",
+    "CascadingFailure",
+    "CorrelatedFailure",
+    "InvariantMonitor",
+    "ViolationRecord",
+    "RetryPolicy",
+    "ChaosReport",
+    "run_chaos_campaign",
+    "replay_batch",
+    "unchecked_assignment",
+]

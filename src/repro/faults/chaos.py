@@ -1,0 +1,194 @@
+"""Chaos campaigns: scripted faults + invariant monitoring + quarantine.
+
+:func:`run_chaos_campaign` is the top of the chaos stack. It runs a
+protocol through many batches of a fault-scheduled simulation with an
+:class:`~repro.faults.monitor.InvariantMonitor` attached, quarantines any
+batch that dies (keeping its seed and fault trace for deterministic
+replay via :func:`replay_batch`), and renders everything into a
+:class:`ChaosReport`. A clean protocol passes a long sweep with zero
+violations and zero aborted batches; a broken one is caught with enough
+context to reproduce the exact failing scenario.
+
+:func:`unchecked_assignment` deliberately builds an *invalid* quorum
+assignment (bypassing the section-2.1 validation) so tests and demos can
+prove the monitor actually detects intersection violations rather than
+relying on construction-time checks that a real bug could sidestep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import BatchExecutionError, FaultInjectionError
+from repro.faults.monitor import InvariantMonitor, ViolationRecord
+from repro.faults.schedule import FaultSchedule
+from repro.protocols.base import ReplicaControlProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import BatchResult, SimulationEngine, ChangeObserver
+from repro.simulation.runner import QuarantinedBatch
+
+__all__ = [
+    "ChaosReport",
+    "run_chaos_campaign",
+    "replay_batch",
+    "unchecked_assignment",
+]
+
+
+def unchecked_assignment(total_votes: int, read_quorum: int,
+                         write_quorum: int) -> QuorumAssignment:
+    """Build a quorum assignment WITHOUT the section-2.1 validation.
+
+    Chaos-testing only: this is how a campaign injects a deliberately
+    broken assignment (e.g. ``q_r + q_w <= T``) to prove the invariant
+    monitor catches it. Refuses to build an assignment that would pass
+    validation anyway — use the real constructor for those.
+    """
+    try:
+        QuorumAssignment(total_votes, read_quorum, write_quorum)
+    except Exception:
+        assignment = object.__new__(QuorumAssignment)
+        object.__setattr__(assignment, "total_votes", int(total_votes))
+        object.__setattr__(assignment, "read_quorum", int(read_quorum))
+        object.__setattr__(assignment, "write_quorum", int(write_quorum))
+        return assignment
+    raise FaultInjectionError(
+        f"(q_r={read_quorum}, q_w={write_quorum}, T={total_votes}) is a valid "
+        "assignment; unchecked_assignment is only for deliberately broken ones"
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos campaign observed."""
+
+    protocol_name: str
+    schedule_description: str
+    n_batches_requested: int
+    batches: List[BatchResult] = field(default_factory=list)
+    quarantined: List[QuarantinedBatch] = field(default_factory=list)
+    monitor: Optional[InvariantMonitor] = None
+
+    @property
+    def violations(self) -> List[ViolationRecord]:
+        return [] if self.monitor is None else self.monitor.violations
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.batches)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every batch completed and no invariant was violated."""
+        return (
+            not self.quarantined
+            and self.monitor is not None
+            and self.monitor.ok
+            and self.n_completed == self.n_batches_requested
+        )
+
+    def availability(self) -> float:
+        """Pooled ACC over the completed batches (0 when none completed)."""
+        submitted = sum(b.accesses_submitted for b in self.batches)
+        granted = sum(b.accesses_granted for b in self.batches)
+        return granted / submitted if submitted > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign : {self.protocol_name}",
+            f"fault schedule : {self.schedule_description}",
+            f"batches        : {self.n_completed}/{self.n_batches_requested} completed, "
+            f"{len(self.quarantined)} quarantined",
+            f"availability   : {self.availability():.4f} (over completed batches)",
+        ]
+        if self.monitor is not None:
+            lines.append(self.monitor.summary())
+        for quarantine in self.quarantined:
+            lines.append(f"quarantined    : {quarantine.describe()}")
+        lines.append(f"verdict        : {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _compose_observers(monitor: InvariantMonitor,
+                       extra: Optional[ChangeObserver]) -> ChangeObserver:
+    if extra is None:
+        return monitor.observe
+
+    def observer(now, tracker, protocol) -> None:
+        monitor.observe(now, tracker, protocol)
+        extra(now, tracker, protocol)
+
+    return observer
+
+
+def run_chaos_campaign(
+    config: SimulationConfig,
+    protocol: ReplicaControlProtocol,
+    n_batches: Optional[int] = None,
+    monitor: Optional[InvariantMonitor] = None,
+    fail_fast: bool = False,
+    change_observer: Optional[ChangeObserver] = None,
+) -> ChaosReport:
+    """Run ``n_batches`` chaos batches with invariant monitoring.
+
+    The fault schedule comes from ``config.fault_schedule`` (a campaign
+    without one is just the stochastic model under the monitor — still a
+    useful smoke test). Defaults to keep-going semantics: a batch that
+    dies is quarantined with its seed and fault trace, and the campaign
+    continues; ``fail_fast=True`` restores abort-on-first-error.
+    """
+    if n_batches is None:
+        n_batches = config.n_batches
+    if n_batches <= 0:
+        raise FaultInjectionError(f"n_batches must be positive, got {n_batches}")
+    if monitor is None:
+        monitor = InvariantMonitor()
+    schedule = config.fault_schedule
+    engine = SimulationEngine(
+        config,
+        protocol,
+        change_observer=_compose_observers(monitor, change_observer),
+    )
+    report = ChaosReport(
+        protocol_name=protocol.name,
+        schedule_description=(
+            schedule.describe()
+            if isinstance(schedule, FaultSchedule)
+            else ("none" if schedule is None else type(schedule).__name__)
+        ),
+        n_batches_requested=n_batches,
+        monitor=monitor,
+    )
+    for index in range(n_batches):
+        monitor.start_batch(index, seed=config.seed)
+        try:
+            report.batches.append(engine.run_batch(index))
+        except BatchExecutionError as exc:
+            if fail_fast:
+                raise
+            report.quarantined.append(QuarantinedBatch.from_error(exc))
+    return report
+
+
+def replay_batch(
+    config: SimulationConfig,
+    protocol: ReplicaControlProtocol,
+    batch_index: int,
+    monitor: Optional[InvariantMonitor] = None,
+) -> BatchResult:
+    """Deterministically re-run one (possibly quarantined) batch.
+
+    Batch streams derive from ``(config.seed, batch_index)`` alone, so
+    replaying a quarantined batch reproduces its failure exactly — or,
+    with an instrumented ``monitor`` attached, lets you watch the run up
+    to the abort. Raises the original
+    :class:`~repro.errors.BatchExecutionError` if the batch still dies.
+    """
+    observer = None if monitor is None else monitor.observe
+    if monitor is not None:
+        monitor.start_batch(batch_index, seed=config.seed)
+    engine = SimulationEngine(config, protocol, change_observer=observer,
+                              record_trace=True)
+    return engine.run_batch(batch_index)

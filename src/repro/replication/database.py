@@ -20,11 +20,25 @@ timestamp is assigned and the new value installed at every replica in the
 component (a superset of a write quorum). ``q_w > T/2`` makes concurrent
 writes in disjoint components impossible — also asserted by the checker,
 which tracks commit timestamps globally.
+
+**Resilience.** With a :class:`~repro.faults.retry.RetryPolicy` attached,
+a denied access is retried with jittered exponential backoff on the
+database's *simulated* clock, bounded by attempts and an optional
+deadline. The ``on_wait`` hook fires after each backoff advance so a
+driving harness (a chaos scenario, a fault-schedule replayer) can apply
+the repairs that make the retry worthwhile. With an
+:class:`~repro.faults.monitor.InvariantMonitor` attached, consistency
+mismatches are *recorded* with context instead of raised, so one bad
+read cannot kill a whole chaos campaign.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.monitor import InvariantMonitor
+    from repro.faults.retry import RetryPolicy
 
 import numpy as np
 
@@ -34,6 +48,7 @@ from repro.protocols.base import ReplicaControlProtocol
 from repro.replication.item import ReplicatedItem
 from repro.replication.store import SiteStore
 from repro.replication.transaction import AccessOutcome, ReadResult, WriteResult
+from repro.rng import RandomState, as_generator
 from repro.topology.model import Topology
 
 __all__ = ["ReplicatedDatabase"]
@@ -49,6 +64,10 @@ class ReplicatedDatabase:
         item: Optional[ReplicatedItem] = None,
         initial_value: Any = None,
         check_serializability: bool = True,
+        retry_policy: Optional["RetryPolicy"] = None,
+        retry_seed: RandomState = None,
+        on_wait: Optional[Callable[[float], None]] = None,
+        monitor: Optional["InvariantMonitor"] = None,
     ) -> None:
         self.topology = topology
         self.protocol = protocol
@@ -59,6 +78,16 @@ class ReplicatedDatabase:
                 "build the topology with Topology.with_votes(item.votes_vector(n))"
             )
         self.check_serializability = check_serializability
+        #: Optional retry/backoff discipline applied by submit_read/submit_write.
+        self.retry_policy = retry_policy
+        self._retry_rng = as_generator(retry_seed)
+        #: Called with the new simulated time after each backoff advance,
+        #: letting the driving harness heal (or further break) the network
+        #: while the access waits.
+        self.on_wait = on_wait
+        #: Optional chaos monitor: serializability mismatches are recorded
+        #: there (with context) instead of raised.
+        self.monitor = monitor
 
         self.state = NetworkState(topology)
         self.tracker = ComponentTracker(self.state)
@@ -114,20 +143,62 @@ class ReplicatedDatabase:
         members = self.tracker.component_of(site)
         return [int(s) for s in members if self.item.holds_copy(int(s))]
 
+    def _consistency_violation(self, detail: str) -> None:
+        """Record (chaos mode) or raise (strict mode) a 1SR violation."""
+        if self.monitor is not None:
+            self.monitor.record_serializability(self._time, detail)
+        else:
+            raise SerializabilityError(detail)
+
+    def _retry_loop(self, attempt_once):
+        """Drive ``attempt_once(attempt_number)`` under the retry policy.
+
+        Backoff runs on the simulated clock; ``on_wait`` fires after every
+        advance so the harness can evolve the network before the retry.
+        The last (possibly still denied) result is returned.
+        """
+        policy = self.retry_policy
+        result = attempt_once(1)
+        if policy is None or result.granted:
+            return result
+        started = self._time
+        attempt = 1
+        while attempt < policy.max_attempts:
+            delay = policy.backoff(attempt, self._retry_rng)
+            if not policy.within_deadline(self._time + delay - started):
+                break
+            self.advance_time(delay)
+            if self.on_wait is not None:
+                self.on_wait(self._time)
+            attempt += 1
+            result = attempt_once(attempt)
+            if result.granted:
+                return result
+        return result
+
     def submit_read(self, site: int) -> ReadResult:
         """Submit a read at ``site``; returns the outcome.
 
         A granted read returns the newest copy visible in the component.
+        Under a retry policy, denied reads are retried with backoff; every
+        attempt is appended to the history and the returned result's
+        ``attempts`` says which try produced it.
         """
         self._check_site(site)
+        return self._retry_loop(lambda attempt: self._read_once(site, attempt))
+
+    def _read_once(self, site: int, attempt: int) -> ReadResult:
         if not self.state.site_up[site]:
-            result = ReadResult(AccessOutcome.SITE_DOWN, site, self._time)
+            result = ReadResult(
+                AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
+            )
             self.history.append(result)
             return result
         votes = self.tracker.votes_at(site)
         if not self.protocol.decide(site, is_read=True, tracker=self.tracker):
             result = ReadResult(
-                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes
+                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes,
+                attempts=attempt,
             )
             self.history.append(result)
             return result
@@ -147,7 +218,7 @@ class ReplicatedDatabase:
         if self.check_serializability:
             expected_ts, expected_value = self._last_commit
             if newest.timestamp != expected_ts or newest.value != expected_value:
-                raise SerializabilityError(
+                self._consistency_violation(
                     f"read at site {site} returned timestamp {newest.timestamp} "
                     f"(value {newest.value!r}) but the last committed write is "
                     f"timestamp {expected_ts} (value {expected_value!r}) — "
@@ -160,21 +231,32 @@ class ReplicatedDatabase:
             value=newest.value,
             timestamp=newest.timestamp,
             component_votes=votes,
+            attempts=attempt,
         )
         self.history.append(result)
         return result
 
     def submit_write(self, site: int, value: Any) -> WriteResult:
-        """Submit a write at ``site``; on grant, installs at all reachable replicas."""
+        """Submit a write at ``site``; on grant, installs at all reachable replicas.
+
+        Under a retry policy, denied writes are retried with backoff
+        exactly like reads.
+        """
         self._check_site(site)
+        return self._retry_loop(lambda attempt: self._write_once(site, value, attempt))
+
+    def _write_once(self, site: int, value: Any, attempt: int) -> WriteResult:
         if not self.state.site_up[site]:
-            result = WriteResult(AccessOutcome.SITE_DOWN, site, self._time)
+            result = WriteResult(
+                AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
+            )
             self.history.append(result)
             return result
         votes = self.tracker.votes_at(site)
         if not self.protocol.decide(site, is_read=False, tracker=self.tracker):
             result = WriteResult(
-                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes
+                AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes,
+                attempts=attempt,
             )
             self.history.append(result)
             return result
@@ -188,7 +270,7 @@ class ReplicatedDatabase:
         self._clock += 1
         timestamp = self._clock
         if self.check_serializability and timestamp <= self._last_commit[0]:
-            raise SerializabilityError(
+            self._consistency_violation(
                 f"write commit timestamp {timestamp} not newer than last commit "
                 f"{self._last_commit[0]} — concurrent writes slipped through"
             )
@@ -202,6 +284,7 @@ class ReplicatedDatabase:
             timestamp=timestamp,
             updated_sites=tuple(replicas),
             component_votes=votes,
+            attempts=attempt,
         )
         self.history.append(result)
         return result

@@ -71,6 +71,11 @@ class SimulationConfig:
         failing. ``None`` means everything fails.
     seed:
         Reproducibility seed; batch ``k`` derives an independent stream.
+    fault_schedule:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` of scripted
+        chaos injectors, primed into every batch alongside the stochastic
+        processes. Components the schedule owns are removed from the
+        stochastic fallible set automatically.
     """
 
     topology: Topology
@@ -85,6 +90,7 @@ class SimulationConfig:
     fallible_sites: Optional[np.ndarray] = None
     fallible_links: Optional[np.ndarray] = None
     seed: Optional[int] = 0
+    fault_schedule: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.workload.n_sites != self.topology.n_sites:
@@ -124,6 +130,15 @@ class SimulationConfig:
         if self.initial_state not in INITIAL_STATES:
             raise SimulationError(
                 f"initial_state must be one of {INITIAL_STATES}, got {self.initial_state!r}"
+            )
+        schedule = self.fault_schedule
+        if schedule is not None and (
+            not callable(getattr(schedule, "prime", None))
+            or not callable(getattr(schedule, "owned_components", None))
+        ):
+            raise SimulationError(
+                "fault_schedule must expose prime(queue, topology, rng) and "
+                f"owned_components(topology); got {type(schedule).__name__}"
             )
 
     # ------------------------------------------------------------------
@@ -192,3 +207,7 @@ class SimulationConfig:
 
     def with_seed(self, seed: Optional[int]) -> "SimulationConfig":
         return replace(self, seed=seed)
+
+    def with_fault_schedule(self, fault_schedule) -> "SimulationConfig":
+        """Same config with a (possibly different) chaos fault schedule."""
+        return replace(self, fault_schedule=fault_schedule)

@@ -34,13 +34,14 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.connectivity.dynamic import ComponentTracker, NetworkState
-from repro.errors import SimulationError
+from repro.errors import BatchExecutionError, SimulationError
 from repro.protocols.base import ReplicaControlProtocol
 from repro.protocols.estimator import OnlineDensityEstimator
 from repro.rng import spawn, stream_for
 from repro.simulation.config import SimulationConfig
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.processes import FailureProcesses
+from repro.simulation.trace import NetworkTrace
 
 __all__ = ["BatchResult", "SimulationEngine", "simulate_batch"]
 
@@ -112,11 +113,20 @@ class SimulationEngine:
         protocol: ReplicaControlProtocol,
         change_observer: Optional[ChangeObserver] = None,
         record_trace: bool = False,
+        fault_schedule: Optional[object] = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
         self.change_observer = change_observer
         self.record_trace = record_trace
+        #: Scripted chaos injectors; an explicit argument overrides the
+        #: config's. Components a schedule owns are removed from the
+        #: stochastic fallible set for the whole batch.
+        self.fault_schedule = (
+            fault_schedule
+            if fault_schedule is not None
+            else getattr(config, "fault_schedule", None)
+        )
 
     # ------------------------------------------------------------------
     def run_batch(self, batch_index: int) -> BatchResult:
@@ -129,10 +139,11 @@ class SimulationEngine:
         cfg = self.config
         topo = cfg.topology
         batch_seed = stream_for(cfg.seed, batch_index) if cfg.seed is not None else None
-        if batch_seed is None:
-            failure_rng, access_rng = spawn(None, 2)
-        else:
-            failure_rng, access_rng = spawn(batch_seed, 2)
+        # Three substreams are always drawn so that runs with and without
+        # a fault schedule share identical failure/access streams for the
+        # same seed (the first children of a stream do not depend on how
+        # many siblings follow).
+        failure_rng, access_rng, chaos_rng = spawn(batch_seed, 3)
 
         state = NetworkState(topo)
         tracker = ComponentTracker(state)
@@ -147,6 +158,10 @@ class SimulationEngine:
             fallible_sites=cfg.fallible_sites,
             fallible_links=cfg.fallible_links,
         )
+        schedule = self.fault_schedule
+        if schedule is not None:
+            owned_sites, owned_links = schedule.owned_components(topo)
+            processes.deactivate(owned_sites, owned_links)
         if cfg.initial_state == "stationary":
             site_up, link_up = processes.prime_stationary(queue)
             for site in np.nonzero(~site_up)[0]:
@@ -155,13 +170,15 @@ class SimulationEngine:
                 state.fail_link(int(link))
         else:
             processes.prime(queue)
+        if schedule is not None:
+            schedule.prime(queue, topo, chaos_rng)
         self.protocol.on_network_change(tracker)
 
-        trace = None
-        if self.record_trace:
-            from repro.simulation.trace import NetworkTrace
-
-            trace = NetworkTrace.empty(topo, state)
+        # The trace is always recorded internally: on a mid-batch failure
+        # it rides along in the BatchExecutionError so the campaign runner
+        # can quarantine the batch with a replayable fault history. It is
+        # only *returned* when the caller opted in via record_trace.
+        trace = NetworkTrace.empty(topo, state)
 
         warmup_end = cfg.warmup_time
         horizon = warmup_end + cfg.batch_time
@@ -171,16 +188,68 @@ class SimulationEngine:
         density_access = OnlineDensityEstimator(topo.n_sites, totals_T)
         max_votes_time = np.zeros(totals_T + 1, dtype=np.float64)
 
-        reads_submitted = reads_granted = 0.0
-        writes_submitted = writes_granted = 0.0
-        surv_read_time = surv_write_time = 0.0
-        n_epochs = 0
-        n_events = 0
-
-        now = 0.0
         sampled = cfg.accounting == "sampled"
         workload = cfg.workload
+        counters = _EpochCounters()
 
+        try:
+            self._measure_loop(
+                queue, state, tracker, processes, trace,
+                warmup_end, horizon, sampled, workload,
+                access_rng, density_time, density_access, max_votes_time,
+                counters,
+            )
+        except Exception as exc:
+            raise BatchExecutionError(
+                f"batch {batch_index} aborted: {type(exc).__name__}: {exc}",
+                batch_index=batch_index,
+                sim_time=trace.duration(),
+                seed=cfg.seed,
+                trace=trace,
+                snapshot=_failure_snapshot(state),
+            ) from exc
+
+        measured_time = horizon - warmup_end
+        return BatchResult(
+            reads_submitted=counters.reads_submitted,
+            reads_granted=counters.reads_granted,
+            writes_submitted=counters.writes_submitted,
+            writes_granted=counters.writes_granted,
+            surv_read=(
+                counters.surv_read_time / measured_time if measured_time > 0 else 0.0
+            ),
+            surv_write=(
+                counters.surv_write_time / measured_time if measured_time > 0 else 0.0
+            ),
+            measured_time=measured_time,
+            n_epochs=counters.n_epochs,
+            n_events=counters.n_events,
+            density_time=density_time,
+            density_access=density_access,
+            max_votes_time=max_votes_time,
+            trace=trace if self.record_trace else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _measure_loop(
+        self,
+        queue: EventQueue,
+        state: NetworkState,
+        tracker: ComponentTracker,
+        processes: FailureProcesses,
+        trace: "NetworkTrace",
+        warmup_end: float,
+        horizon: float,
+        sampled: bool,
+        workload,
+        access_rng,
+        density_time: OnlineDensityEstimator,
+        density_access: OnlineDensityEstimator,
+        max_votes_time: np.ndarray,
+        counters: "_EpochCounters",
+    ) -> float:
+        """The epoch loop; returns the sim time reached (for error context)."""
+        now = 0.0
         while now < horizon:
             epoch_end = min(queue.peek_time(), horizon) if queue else horizon
             # Split an epoch straddling the warm-up boundary so the
@@ -205,14 +274,14 @@ class SimulationEngine:
                     reads, writes = active.sample_epoch(duration, access_rng)
                 else:
                     reads, writes = active.expected_epoch(duration)
-                reads_submitted += float(reads.sum())
-                writes_submitted += float(writes.sum())
-                reads_granted += float(reads[read_mask].sum())
-                writes_granted += float(writes[write_mask].sum())
+                counters.reads_submitted += float(reads.sum())
+                counters.writes_submitted += float(writes.sum())
+                counters.reads_granted += float(reads[read_mask].sum())
+                counters.writes_granted += float(writes[write_mask].sum())
                 if read_mask.any():
-                    surv_read_time += duration
+                    counters.surv_read_time += duration
                 if write_mask.any():
-                    surv_write_time += duration
+                    counters.surv_write_time += duration
                 density_time.observe_all(vote_totals, weight=duration)
                 density_access.observe_counts(vote_totals, reads + writes)
                 max_votes_time[int(vote_totals.max()) if vote_totals.size else 0] += duration
@@ -221,7 +290,7 @@ class SimulationEngine:
                 epoch_hook = getattr(self.protocol, "record_epoch", None)
                 if epoch_hook is not None:
                     epoch_hook(tracker, duration, reads=reads, writes=writes)
-                n_epochs += 1
+                counters.n_epochs += 1
 
             now = epoch_end
             if now >= horizon:
@@ -230,29 +299,12 @@ class SimulationEngine:
             while queue and queue.peek_time() <= now:
                 event = queue.pop()
                 self._apply(event, state, processes, queue)
-                if trace is not None:
-                    trace.record(event)
-                n_events += 1
+                trace.record(event)
+                counters.n_events += 1
             self.protocol.on_network_change(tracker)
             if self.change_observer is not None:
                 self.change_observer(now, tracker, self.protocol)
-
-        measured_time = horizon - warmup_end
-        return BatchResult(
-            reads_submitted=reads_submitted,
-            reads_granted=reads_granted,
-            writes_submitted=writes_submitted,
-            writes_granted=writes_granted,
-            surv_read=surv_read_time / measured_time if measured_time > 0 else 0.0,
-            surv_write=surv_write_time / measured_time if measured_time > 0 else 0.0,
-            measured_time=measured_time,
-            n_epochs=n_epochs,
-            n_events=n_events,
-            density_time=density_time,
-            density_access=density_access,
-            max_votes_time=max_votes_time,
-            trace=trace,
-        )
+        return now
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -263,20 +315,50 @@ class SimulationEngine:
         queue: EventQueue,
     ) -> None:
         kind = event.kind
+        chaos = event.is_chaos
+        # Chaos events are applied verbatim: the fault schedule owns the
+        # component's entire future (including repairs), so no stochastic
+        # follow-up is scheduled for them.
         if kind is EventKind.SITE_FAIL:
             state.fail_site(event.target)
-            processes.schedule_repair(queue, event.time, kind, event.target)
+            if not chaos:
+                processes.schedule_repair(queue, event.time, kind, event.target)
         elif kind is EventKind.SITE_REPAIR:
             state.repair_site(event.target)
-            processes.schedule_failure(queue, event.time, kind, event.target)
+            if not chaos:
+                processes.schedule_failure(queue, event.time, kind, event.target)
         elif kind is EventKind.LINK_FAIL:
             state.fail_link(event.target)
-            processes.schedule_repair(queue, event.time, kind, event.target)
+            if not chaos:
+                processes.schedule_repair(queue, event.time, kind, event.target)
         elif kind is EventKind.LINK_REPAIR:
             state.repair_link(event.target)
-            processes.schedule_failure(queue, event.time, kind, event.target)
+            if not chaos:
+                processes.schedule_failure(queue, event.time, kind, event.target)
         else:
             raise SimulationError(f"engine cannot apply event kind {kind}")
+
+
+@dataclass
+class _EpochCounters:
+    """Mutable accumulator threaded through the measurement loop."""
+
+    reads_submitted: float = 0.0
+    reads_granted: float = 0.0
+    writes_submitted: float = 0.0
+    writes_granted: float = 0.0
+    surv_read_time: float = 0.0
+    surv_write_time: float = 0.0
+    n_epochs: int = 0
+    n_events: int = 0
+
+
+def _failure_snapshot(state: NetworkState) -> dict:
+    """Component up-masks at the moment a batch died (for quarantine)."""
+    return {
+        "site_up": state.site_up.astype(int).tolist(),
+        "link_up": state.link_up.astype(int).tolist(),
+    }
 
 
 def simulate_batch(

@@ -15,7 +15,13 @@ from typing import Iterator, Optional
 
 from repro.errors import SimulationError
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventQueue",
+    "SOURCE_STOCHASTIC",
+    "SOURCE_CHAOS",
+]
 
 
 class EventKind(Enum):
@@ -42,25 +48,39 @@ class EventKind(Enum):
         return self in (EventKind.SITE_REPAIR, EventKind.LINK_REPAIR)
 
 
+#: Event provenance tags. Stochastic events come from the exponential
+#: failure/repair processes and trigger follow-up scheduling; chaos events
+#: come from a scripted fault schedule and are applied verbatim (the
+#: schedule owns the component's whole future, including its repairs).
+SOURCE_STOCHASTIC = "stochastic"
+SOURCE_CHAOS = "chaos"
+
+
 @dataclass(frozen=True, order=True)
 class Event:
     """One scheduled event.
 
     ``target`` is a site id for site events, a link id for link events,
     and the submitting site for access events. Ordering is by time, then
-    insertion sequence.
+    insertion sequence. ``source`` records provenance (stochastic process
+    vs. injected chaos) and does not participate in ordering.
     """
 
     time: float
     sequence: int
     kind: EventKind = field(compare=False)
     target: int = field(compare=False)
+    source: str = field(compare=False, default=SOURCE_STOCHASTIC)
 
     def __post_init__(self) -> None:
         if self.time < 0.0:
             raise SimulationError(f"event time must be non-negative, got {self.time}")
         if self.target < 0:
             raise SimulationError(f"event target must be non-negative, got {self.target}")
+
+    @property
+    def is_chaos(self) -> bool:
+        return self.source == SOURCE_CHAOS
 
 
 class EventQueue:
@@ -72,9 +92,18 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = count()
 
-    def schedule(self, time: float, kind: EventKind, target: int) -> Event:
+    def schedule(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int,
+        source: str = SOURCE_STOCHASTIC,
+    ) -> Event:
         """Create and enqueue an event; returns it."""
-        event = Event(time=time, sequence=next(self._counter), kind=kind, target=target)
+        event = Event(
+            time=time, sequence=next(self._counter), kind=kind, target=target,
+            source=source,
+        )
         heapq.heappush(self._heap, event)
         return event
 

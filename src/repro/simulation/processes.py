@@ -102,6 +102,39 @@ class FailureProcesses:
         self.fallible = np.concatenate([fallible_sites, fallible_links])
 
     # ------------------------------------------------------------------
+    def deactivate(
+        self,
+        site_ids: Sequence[int] = (),
+        link_ids: Sequence[int] = (),
+    ) -> int:
+        """Remove components from the fallible set.
+
+        The chaos layer calls this for every component a fault schedule
+        *owns*: a scripted partition that cuts a link at t=10 and heals it
+        at t=40 must not race a stochastic repair of the same link at
+        t=25. Must be called before :meth:`prime` /
+        :meth:`prime_stationary`; returns the number of components newly
+        deactivated.
+        """
+        removed = 0
+        for site in site_ids:
+            site = int(site)
+            if not 0 <= site < self.topology.n_sites:
+                raise SimulationError(f"cannot deactivate unknown site {site}")
+            if self.fallible[site]:
+                self.fallible[site] = False
+                removed += 1
+        for link in link_ids:
+            link = int(link)
+            if not 0 <= link < self.topology.n_links:
+                raise SimulationError(f"cannot deactivate unknown link id {link}")
+            component = self.topology.n_sites + link
+            if self.fallible[component]:
+                self.fallible[component] = False
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
     def stationary_reliability(self) -> np.ndarray:
         """Per-component stationary up probability (1 for infallible ones)."""
         rel = self.mttf / (self.mttf + self.mttr)

@@ -15,19 +15,66 @@ paper figures from a handful of runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import BatchExecutionError, SimulationError
 from repro.protocols.base import ReplicaControlProtocol
 from repro.quorum.availability import AvailabilityModel
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import BatchResult, SimulationEngine, ChangeObserver
 from repro.simulation.stats import BatchStatistics
+from repro.simulation.trace import NetworkTrace
 
-__all__ = ["SimulationResult", "run_simulation"]
+__all__ = ["QuarantinedBatch", "SimulationResult", "run_simulation"]
+
+
+@dataclass
+class QuarantinedBatch:
+    """A batch that died mid-flight, preserved for replay.
+
+    Carries everything needed to reproduce the failure deterministically:
+    the batch index (which, with the config seed, fixes every random
+    stream), the fault trace recorded up to the abort, and the failure
+    snapshot. Re-running ``SimulationEngine(config, protocol).run_batch(
+    batch_index)`` reproduces the abort exactly.
+    """
+
+    batch_index: int
+    seed: Optional[int]
+    error_type: str
+    message: str
+    sim_time: float
+    trace: Optional[NetworkTrace] = None
+    snapshot: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_error(cls, exc: BatchExecutionError) -> "QuarantinedBatch":
+        cause = exc.__cause__
+        return cls(
+            batch_index=exc.batch_index,
+            seed=exc.seed,
+            error_type=type(cause).__name__ if cause is not None else "unknown",
+            message=str(cause) if cause is not None else exc.message,
+            sim_time=exc.sim_time if exc.sim_time is not None else 0.0,
+            trace=exc.trace,
+            snapshot=exc.snapshot,
+        )
+
+    def describe(self) -> str:
+        events = "no trace" if self.trace is None else f"{len(self.trace)} events"
+        chaos = (
+            ""
+            if self.trace is None
+            else f", {len(self.trace.chaos_events())} injected"
+        )
+        return (
+            f"batch {self.batch_index} (seed={self.seed}) aborted at "
+            f"t={self.sim_time:.4g}: {self.error_type}: {self.message} "
+            f"[{events}{chaos}]"
+        )
 
 
 @dataclass
@@ -37,6 +84,8 @@ class SimulationResult:
     config: SimulationConfig
     protocol_name: str
     batches: List[BatchResult]
+    #: Batches that aborted and were kept aside (keep-going mode only).
+    quarantined: List[QuarantinedBatch] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def _metric(self, name: str, extractor) -> BatchStatistics:
@@ -146,6 +195,9 @@ class SimulationResult:
             str(self.surv_read),
             str(self.surv_write),
         ]
+        if self.quarantined:
+            lines.append(f"quarantined: {len(self.quarantined)} batch(es)")
+            lines.extend(f"  {q.describe()}" for q in self.quarantined)
         return "\n".join(lines)
 
 
@@ -171,6 +223,7 @@ def run_simulation(
     target_half_width: Optional[float] = None,
     max_batches: int = 18,
     change_observer: Optional[ChangeObserver] = None,
+    fail_fast: bool = True,
 ) -> SimulationResult:
     """Run the paper's batch procedure.
 
@@ -179,19 +232,44 @@ def run_simulation(
     18) until the 95 % CI half-width on ACC availability is within the
     target, mirroring "the number of batches ... is dictated by the
     desired confidence interval".
+
+    ``fail_fast=True`` (the historical behavior) aborts the whole run on
+    the first batch error. With ``fail_fast=False`` a failed batch is
+    *quarantined* — its seed, fault trace, and failure snapshot are kept
+    on ``SimulationResult.quarantined`` for deterministic replay — and
+    the campaign continues with the remaining batches.
     """
     if max_batches < config.n_batches:
         raise SimulationError(
             f"max_batches ({max_batches}) below configured n_batches ({config.n_batches})"
         )
     engine = SimulationEngine(config, protocol, change_observer)
-    batches = [engine.run_batch(k) for k in range(config.n_batches)]
-    result = SimulationResult(config, protocol.name, batches)
+    batches: List[BatchResult] = []
+    quarantined: List[QuarantinedBatch] = []
+
+    def attempt(index: int) -> None:
+        try:
+            batches.append(engine.run_batch(index))
+        except BatchExecutionError as exc:
+            if fail_fast:
+                raise
+            quarantined.append(QuarantinedBatch.from_error(exc))
+
+    for k in range(config.n_batches):
+        attempt(k)
+    if not batches:
+        raise SimulationError(
+            f"every batch failed ({len(quarantined)} quarantined); first: "
+            f"{quarantined[0].describe()}"
+        )
+    result = SimulationResult(config, protocol.name, batches, quarantined)
     if target_half_width is not None:
+        next_index = config.n_batches
         while (
             not result.availability.meets_precision(target_half_width)
-            and len(batches) < max_batches
+            and len(batches) + len(quarantined) < max_batches
         ):
-            batches.append(engine.run_batch(len(batches)))
-            result = SimulationResult(config, protocol.name, batches)
+            attempt(next_index)
+            next_index += 1
+            result = SimulationResult(config, protocol.name, batches, quarantined)
     return result

@@ -37,6 +37,9 @@ class NetworkTrace:
     initial_site_up: np.ndarray
     initial_link_up: np.ndarray
     events: List[Tuple[float, str, int]] = field(default_factory=list)
+    #: Event provenance, parallel to ``events`` ("stochastic" or "chaos").
+    #: Traces deserialized from older payloads default to all-stochastic.
+    sources: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -60,6 +63,7 @@ class NetworkTrace:
                 f"event at {event.time} precedes last recorded time {self.events[-1][0]}"
             )
         self.events.append((event.time, event.kind.value, event.target))
+        self.sources.append(getattr(event, "source", "stochastic"))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -75,6 +79,26 @@ class NetworkTrace:
             out[kind] = out.get(kind, 0) + 1
         return out
 
+    def counts_by_source(self) -> Dict[str, int]:
+        """How many recorded events came from each provenance tag."""
+        out: Dict[str, int] = {}
+        for source in self._padded_sources():
+            out[source] = out.get(source, 0) + 1
+        return out
+
+    def chaos_events(self) -> List[Tuple[float, str, int]]:
+        """Only the injected (scripted) events — the *fault trace* proper."""
+        return [
+            event
+            for event, source in zip(self.events, self._padded_sources())
+            if source == "chaos"
+        ]
+
+    def _padded_sources(self) -> List[str]:
+        """Sources padded to len(events) for traces built without them."""
+        missing = len(self.events) - len(self.sources)
+        return self.sources + ["stochastic"] * missing if missing > 0 else self.sources
+
     def to_dict(self) -> Dict:
         """JSON-compatible serialization."""
         return {
@@ -83,17 +107,25 @@ class NetworkTrace:
             "initial_site_up": self.initial_site_up.astype(int).tolist(),
             "initial_link_up": self.initial_link_up.astype(int).tolist(),
             "events": [[t, k, target] for t, k, target in self.events],
+            "sources": list(self._padded_sources()),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "NetworkTrace":
         try:
+            events = [(float(t), str(k), int(x)) for t, k, x in payload["events"]]
+            sources = [str(s) for s in payload.get("sources", [])]
+            if sources and len(sources) != len(events):
+                raise SimulationError(
+                    f"trace dict has {len(events)} events but {len(sources)} sources"
+                )
             return cls(
                 n_sites=int(payload["n_sites"]),
                 n_links=int(payload["n_links"]),
                 initial_site_up=np.asarray(payload["initial_site_up"], dtype=bool),
                 initial_link_up=np.asarray(payload["initial_link_up"], dtype=bool),
-                events=[(float(t), str(k), int(x)) for t, k, x in payload["events"]],
+                events=events,
+                sources=sources,
             )
         except KeyError as missing:
             raise SimulationError(f"trace dict missing key {missing}") from None

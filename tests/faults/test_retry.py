@@ -1,0 +1,176 @@
+"""RetryPolicy mechanics and the database's resilient access paths."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, SerializabilityError
+from repro.faults.chaos import unchecked_assignment
+from repro.faults.monitor import InvariantMonitor
+from repro.faults.retry import RetryPolicy
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.replication.database import ReplicatedDatabase
+from repro.rng import as_generator
+from repro.topology.generators import ring
+
+
+class TestPolicy:
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=2.0,
+                             max_delay=5.0)
+        delays = [policy.backoff(k) for k in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=2.0, multiplier=1.0, max_delay=2.0,
+                             jitter=0.5)
+        rng = as_generator(0)
+        for _ in range(50):
+            assert 1.0 <= policy.backoff(1, rng) <= 3.0
+
+    def test_jittered_backoff_is_seed_deterministic(self):
+        policy = RetryPolicy(jitter=0.3)
+        a = [policy.backoff(k, as_generator(5)) for k in range(1, 4)]
+        b = [policy.backoff(k, as_generator(5)) for k in range(1, 4)]
+        assert a == b
+
+    def test_deadline(self):
+        policy = RetryPolicy(deadline=10.0)
+        assert policy.within_deadline(9.99)
+        assert not policy.within_deadline(10.0)
+        assert RetryPolicy(deadline=None).within_deadline(1e9)
+
+    def test_none_policy_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(base_delay=4.0, max_delay=2.0)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(FaultInjectionError):
+            RetryPolicy().backoff(0)
+
+    def test_describe(self):
+        assert "attempts=4" in RetryPolicy().describe()
+
+
+def majority_db(**kwargs):
+    topo = ring(5)
+    protocol = QuorumConsensusProtocol(QuorumAssignment.majority(5))
+    return ReplicatedDatabase(topo, protocol, initial_value="v0", **kwargs)
+
+
+class TestDatabaseRetry:
+    def test_no_policy_means_single_attempt(self):
+        db = majority_db()
+        for site in (1, 2, 3):
+            db.fail_site(site)
+        result = db.submit_write(0, "x")
+        assert not result.granted
+        assert result.attempts == 1
+        assert len(db.history) == 1
+
+    def test_retry_succeeds_after_heal_on_wait(self):
+        healed = []
+
+        def heal(now):
+            if not healed:
+                db.repair_site(1)
+                db.repair_site(2)
+                healed.append(now)
+
+        db = majority_db(
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=2.0),
+            on_wait=heal,
+        )
+        for site in (1, 2, 3):
+            db.fail_site(site)
+        # Component {0,4} holds 2 votes < q_w = 4: attempt 1 denied; the
+        # heal during backoff brings {0,1,2,4} = 4 votes; attempt 2 grants.
+        result = db.submit_write(0, "x")
+        assert result.granted
+        assert result.attempts == 2
+        assert result.time == pytest.approx(2.0)  # backoff advanced the clock
+        assert len(db.history) == 2  # every attempt is logged
+        assert db.copy_at(0).value == "x"
+
+    def test_retries_give_up_after_max_attempts(self):
+        waits = []
+        db = majority_db(
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0,
+                                     multiplier=2.0),
+            on_wait=waits.append,
+        )
+        for site in (1, 2, 3):
+            db.fail_site(site)
+        result = db.submit_write(0, "x")
+        assert not result.granted
+        assert result.attempts == 3
+        assert waits == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_deadline_stops_retrying_early(self):
+        db = majority_db(
+            retry_policy=RetryPolicy(max_attempts=10, base_delay=4.0,
+                                     multiplier=1.0, max_delay=4.0,
+                                     deadline=6.0),
+        )
+        for site in (1, 2, 3):
+            db.fail_site(site)
+        result = db.submit_write(0, "x")
+        # First backoff (4.0) fits the deadline, the second (-> 8.0) does not.
+        assert result.attempts == 2
+
+    def test_granted_first_try_never_waits(self):
+        db = majority_db(retry_policy=RetryPolicy(max_attempts=5, base_delay=9.0,
+                                                  max_delay=9.0))
+        result = db.submit_read(0)
+        assert result.granted and result.attempts == 1
+        assert result.time == 0.0
+
+    def test_read_retry_returns_committed_value(self):
+        def heal(now):
+            db.repair_site(1)
+
+        db = majority_db(
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1.0),
+            on_wait=heal,
+        )
+        db.submit_write(0, "committed")
+        for site in (1, 2, 3):
+            db.fail_site(site)
+        result = db.submit_read(0)
+        assert result.granted
+        assert result.value == "committed"
+
+
+class TestMonitorRouting:
+    def broken_partitioned_db(self, monitor=None):
+        topo = ring(6)
+        protocol = QuorumConsensusProtocol(unchecked_assignment(6, 1, 2))
+        db = ReplicatedDatabase(topo, protocol, initial_value="v0",
+                                monitor=monitor)
+        db.fail_link(2, 3)
+        db.fail_link(5, 0)  # {0,1,2} vs {3,4,5}
+        return db
+
+    def test_without_monitor_mismatch_raises(self):
+        db = self.broken_partitioned_db()
+        db.submit_write(0, "x")  # commits in {0,1,2} only
+        with pytest.raises(SerializabilityError):
+            db.submit_read(3)  # {3,4,5} still sees v0
+
+    def test_with_monitor_mismatch_is_recorded(self):
+        monitor = InvariantMonitor()
+        db = self.broken_partitioned_db(monitor=monitor)
+        db.submit_write(0, "x")
+        result = db.submit_read(3)  # records instead of raising
+        assert result.granted
+        assert result.value == "v0"  # the stale value really was returned
+        rules = [v.rule for v in monitor.violations]
+        assert rules == ["one-copy-serializability"]

@@ -1,0 +1,201 @@
+"""Fault injectors and schedules: event generation, ownership, priming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.schedule import (
+    CascadingFailure,
+    CorrelatedFailure,
+    FaultSchedule,
+    FlappingSite,
+    LinkCut,
+    ScriptedPartition,
+    SiteCrash,
+)
+from repro.rng import as_generator
+from repro.simulation.events import SOURCE_CHAOS, EventKind, EventQueue
+from repro.topology.generators import ring
+
+
+@pytest.fixture
+def topo():
+    return ring(8)
+
+
+class TestSiteCrash:
+    def test_events(self, topo):
+        crash = SiteCrash(5.0, [1, 3], heal_at=9.0)
+        events = crash.events(topo, as_generator(0))
+        assert (5.0, EventKind.SITE_FAIL, 1) in events
+        assert (5.0, EventKind.SITE_FAIL, 3) in events
+        assert (9.0, EventKind.SITE_REPAIR, 1) in events
+        assert len(events) == 4
+
+    def test_no_heal_means_down_forever(self, topo):
+        events = SiteCrash(2.0, [0]).events(topo, as_generator(0))
+        assert events == [(2.0, EventKind.SITE_FAIL, 0)]
+
+    def test_owned_sites(self, topo):
+        assert SiteCrash(1.0, [2, 6]).owned_sites(topo) == {2, 6}
+        assert SiteCrash(1.0, [2, 6]).owned_links(topo) == set()
+
+    def test_validation(self, topo):
+        with pytest.raises(FaultInjectionError):
+            SiteCrash(-1.0, [0])
+        with pytest.raises(FaultInjectionError):
+            SiteCrash(1.0, [])
+        with pytest.raises(FaultInjectionError):
+            SiteCrash(5.0, [0], heal_at=5.0)
+        with pytest.raises(FaultInjectionError):
+            SiteCrash(1.0, [99]).events(topo, as_generator(0))
+
+
+class TestLinkCut:
+    def test_events(self, topo):
+        cut = LinkCut(1.0, [(0, 1)], heal_at=2.0)
+        link = topo.link_id(0, 1)
+        assert cut.events(topo, as_generator(0)) == [
+            (1.0, EventKind.LINK_FAIL, link),
+            (2.0, EventKind.LINK_REPAIR, link),
+        ]
+
+    def test_missing_link_rejected(self, topo):
+        with pytest.raises(FaultInjectionError):
+            LinkCut(1.0, [(0, 4)]).events(topo, as_generator(0))
+
+
+class TestScriptedPartition:
+    def test_cuts_exactly_the_cross_group_links(self, topo):
+        part = ScriptedPartition(3.0, [[0, 1, 2, 3]])
+        cut = set(part.cut_link_ids(topo))
+        # Ring 0-1-...-7-0: the only cross links are (3,4) and (7,0).
+        assert cut == {topo.link_id(3, 4), topo.link_id(7, 0)}
+
+    def test_explicit_two_groups(self, topo):
+        part = ScriptedPartition(3.0, [[0, 1], [2, 3]])
+        cut = set(part.cut_link_ids(topo))
+        # Links leaving {0,1} and {2,3} and between them: (1,2),(3,4),(7,0).
+        assert cut == {topo.link_id(1, 2), topo.link_id(3, 4), topo.link_id(7, 0)}
+
+    def test_heal_restores_every_cut_link(self, topo):
+        part = ScriptedPartition(3.0, [[0, 1, 2, 3]], heal_at=8.0)
+        events = part.events(topo, as_generator(0))
+        fails = [e for e in events if e[1] is EventKind.LINK_FAIL]
+        repairs = [e for e in events if e[1] is EventKind.LINK_REPAIR]
+        assert {e[2] for e in fails} == {e[2] for e in repairs}
+        assert all(e[0] == 8.0 for e in repairs)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ScriptedPartition(1.0, [[0, 1], [1, 2]])
+
+
+class TestFlappingSite:
+    def test_cycles(self, topo):
+        flap = FlappingSite(2, period=4.0, until=10.0, down_fraction=0.25)
+        events = flap.events(topo, as_generator(0))
+        # Cycles start at 0, 4, 8 — each one fail + one repair 1.0 later.
+        fails = [e for e in events if e[1] is EventKind.SITE_FAIL]
+        assert [t for t, _, _ in fails] == [0.0, 4.0, 8.0]
+        repairs = [e for e in events if e[1] is EventKind.SITE_REPAIR]
+        assert [t for t, _, _ in repairs] == [1.0, 5.0, 9.0]
+        assert all(target == 2 for _, _, target in events)
+
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FlappingSite(0, period=0.0, until=5.0)
+        with pytest.raises(FaultInjectionError):
+            FlappingSite(0, period=1.0, until=5.0, down_fraction=1.0)
+        with pytest.raises(FaultInjectionError):
+            FlappingSite(0, period=1.0, until=2.0, start=3.0)
+
+
+class TestCascadingFailure:
+    def test_staggered_failures(self, topo):
+        cascade = CascadingFailure(10.0, [4, 5, 6], delay=2.0, heal_at=20.0)
+        events = cascade.events(topo, as_generator(0))
+        fails = [e for e in events if e[1] is EventKind.SITE_FAIL]
+        assert fails == [
+            (10.0, EventKind.SITE_FAIL, 4),
+            (12.0, EventKind.SITE_FAIL, 5),
+            (14.0, EventKind.SITE_FAIL, 6),
+        ]
+
+    def test_heal_must_follow_last_failure(self):
+        with pytest.raises(FaultInjectionError):
+            CascadingFailure(10.0, [0, 1, 2], delay=2.0, heal_at=13.0)
+
+
+class TestCorrelatedFailure:
+    def test_scripted_occurrences_fail_together(self, topo):
+        group = CorrelatedFailure(sites=[0, 1], link_pairs=[(3, 4)],
+                                  at_times=[5.0], down_time=2.0)
+        events = group.events(topo, as_generator(0))
+        fail_times = sorted(t for t, k, _ in events if k.is_failure)
+        assert fail_times == [5.0, 5.0, 5.0]
+        repair_times = sorted(t for t, k, _ in events if k.is_repair)
+        assert repair_times == [7.0, 7.0, 7.0]
+
+    def test_poisson_occurrences_are_seed_deterministic(self, topo):
+        group = CorrelatedFailure(sites=[0], mean_interval=3.0, until=30.0)
+        a = group.events(topo, as_generator(42))
+        b = group.events(topo, as_generator(42))
+        c = group.events(topo, as_generator(7))
+        assert a == b
+        assert a != c
+
+    def test_jitter_never_outlives_down_time(self):
+        with pytest.raises(FaultInjectionError):
+            CorrelatedFailure(sites=[0], at_times=[1.0], down_time=1.0, jitter=1.0)
+
+    def test_needs_exactly_one_occurrence_mode(self):
+        with pytest.raises(FaultInjectionError):
+            CorrelatedFailure(sites=[0])
+        with pytest.raises(FaultInjectionError):
+            CorrelatedFailure(sites=[0], at_times=[1.0], mean_interval=2.0)
+
+
+class TestFaultSchedule:
+    def test_owned_components_union(self, topo):
+        schedule = FaultSchedule([
+            SiteCrash(1.0, [0, 2]),
+            LinkCut(2.0, [(4, 5)]),
+        ])
+        sites, links = schedule.owned_components(topo)
+        assert sites == [0, 2]
+        assert links == [topo.link_id(4, 5)]
+
+    def test_prime_tags_events_as_chaos(self, topo):
+        schedule = FaultSchedule([SiteCrash(1.0, [0], heal_at=2.0)])
+        queue = EventQueue()
+        n = schedule.prime(queue, topo, as_generator(0))
+        assert n == 2 and len(queue) == 2
+        while queue:
+            event = queue.pop()
+            assert event.source == SOURCE_CHAOS and event.is_chaos
+
+    def test_all_events_are_time_ordered(self, topo):
+        schedule = FaultSchedule([
+            SiteCrash(5.0, [0]),
+            FlappingSite(1, period=2.0, until=8.0),
+        ])
+        times = [t for t, _, _ in schedule.all_events(topo, as_generator(0))]
+        assert times == sorted(times)
+
+    def test_schedule_seed_overrides_engine_stream(self, topo):
+        group = CorrelatedFailure(sites=[0], mean_interval=3.0, until=30.0)
+        seeded = FaultSchedule([group], seed=11)
+        # Same schedule, different engine rng: identical events.
+        a = seeded.all_events(topo, as_generator(0))
+        b = seeded.all_events(topo, as_generator(999))
+        assert a == b
+
+    def test_rejects_non_injectors(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule(["not an injector"])
+
+    def test_describe_mentions_every_injector(self, topo):
+        schedule = FaultSchedule([SiteCrash(1.0, [0]), LinkCut(2.0, [(4, 5)])])
+        text = schedule.describe()
+        assert "site-crash" in text and "link-cut" in text

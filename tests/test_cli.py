@@ -164,6 +164,33 @@ class TestCampaign:
         assert "--- section 5.5 ---" in out
 
 
+class TestChaos:
+    def test_clean_campaign_passes(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--scenario", "partition", "--scale", "test",
+            "--batches", "1",
+        )
+        assert code == 0
+        assert "verdict        : PASS" in out
+        assert "quarantined" in out
+
+    def test_broken_assignment_fails_with_violations(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--scenario", "partition", "--scale", "test",
+            "--batches", "1", "--broken", "--show-violations", "2",
+        )
+        assert code == 1
+        assert "verdict        : FAIL" in out
+        assert "quorum-intersection" in out
+
+    def test_simulate_accepts_keep_going(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--scale", "test", "--keep-going",
+        )
+        assert code == 0
+        assert "availability" in out
+
+
 class TestValidate:
     def test_validate_runs_and_passes(self, capsys):
         # The default validation scale takes a few seconds; acceptable for
