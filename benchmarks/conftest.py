@@ -17,8 +17,12 @@ Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
+from typing import Dict, List
 
 import pytest
 
@@ -27,6 +31,7 @@ from repro.experiments.paper import (
     SMALL_SCALE,
     ExperimentScale,
 )
+from repro.telemetry.metrics import Histogram
 
 #: Default benchmark scale: full-size networks, laptop-size access volume.
 #: Starts each batch from the exact stationary network state, so the short
@@ -75,3 +80,82 @@ def report():
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable results: one BENCH_<module>.json per bench module
+# ----------------------------------------------------------------------
+
+#: Timing entries collected this session, keyed by bench module stem.
+_BENCH_JSON: Dict[str, List[dict]] = {}
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_recorder(request):
+    """Collect every pytest-benchmark timing into the JSON sidecar.
+
+    Raw round timings feed a telemetry :class:`Histogram`, whose moment
+    accumulators supply the reported mean/stddev — the same estimator the
+    ``--telemetry`` path uses for span timings, so the two agree.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if benchmark is None:
+        return
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", None)
+    data = list(getattr(stats, "data", None) or [])
+    if not data:
+        return
+    hist = Histogram("bench_seconds", buckets=(1e-4, 1e-2, 0.1, 1.0, 10.0, 60.0))
+    for value in data:
+        hist.observe(value)
+    series = hist.series()[()]
+    entry = {
+        "test": request.node.name,
+        "mean": series.mean(),
+        "stddev": series.stddev(),
+        "min": series.min,
+        "max": series.max,
+        "iterations": series.count,
+        "quantiles": {
+            str(q): est.value() for q, est in sorted(series.quantiles.items())
+        },
+    }
+    _BENCH_JSON.setdefault(request.node.path.stem, []).append(entry)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write BENCH_<module>.json for every module that produced timings."""
+    if not _BENCH_JSON:
+        return
+    sha = _git_sha()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    out_dir = Path(__file__).parent
+    for stem in sorted(_BENCH_JSON):
+        payload = {
+            "schema": 1,
+            "bench": stem,
+            "git_sha": sha,
+            "timestamp": stamp,
+            "scale": scale,
+            "results": _BENCH_JSON[stem],
+        }
+        path = out_dir / f"BENCH_{stem}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

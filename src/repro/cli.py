@@ -15,6 +15,12 @@ writing Python:
 - ``write-constraint``  — the section 5.4 floor sweep for one topology.
 - ``chaos``             — scripted fault-injection campaign with invariant
   monitoring (DESIGN.md: "Chaos engineering the quorum layer").
+- ``metrics``           — re-render a ``--telemetry`` JSONL stream as the
+  human report (spans, counters, quorum-decision audit).
+
+``simulate`` and ``chaos`` accept ``--telemetry`` (and ``--telemetry-dir``)
+to record metrics, spans, and the quorum-decision audit log, exporting a
+Prometheus text file plus a JSON-lines stream after the run.
 
 All commands accept ``--seed`` for exact reproducibility.
 """
@@ -55,6 +61,44 @@ def _analytic_density(family: str, sites: int, p: float, r: float) -> np.ndarray
     if family == "bus":
         return bus_density(sites, p, r, sites_need_bus=False)
     raise ValueError(f"unknown density family {family!r}")
+
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing shared by simulate/chaos
+# ----------------------------------------------------------------------
+
+def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--telemetry", action="store_true",
+                     help="record metrics, spans, and the quorum-decision "
+                     "audit log; export Prometheus + JSONL after the run")
+    sub.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                     help="where to write metrics.prom / events.jsonl "
+                     "(implies --telemetry; default: ./telemetry)")
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """A live recorder when requested, else None (the null path)."""
+    if not (args.telemetry or args.telemetry_dir):
+        return None
+    from repro.telemetry.recorder import Telemetry
+
+    return Telemetry()
+
+
+def _export_telemetry(snapshot, args: argparse.Namespace) -> None:
+    """Write the Prometheus + JSONL exports and say where they went."""
+    from pathlib import Path
+
+    from repro.telemetry.export import to_prometheus, write_jsonl
+
+    directory = Path(args.telemetry_dir or "telemetry")
+    directory.mkdir(parents=True, exist_ok=True)
+    prom_path = directory / "metrics.prom"
+    prom_path.write_text(to_prometheus(snapshot))
+    jsonl_path = write_jsonl(snapshot, directory / "events.jsonl")
+    print()
+    print(f"telemetry : wrote {prom_path} and {jsonl_path}")
+    print(f"telemetry : summarize with `repro metrics {jsonl_path}`")
 
 
 # ----------------------------------------------------------------------
@@ -108,18 +152,33 @@ def _make_protocol(name: str, total_votes: int, read_quorum: Optional[int]):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.runner import run_simulation
+    from repro.telemetry.recorder import use as _use_telemetry
 
     scale = _scale(args.scale)
     config = scale.config(args.chords, alpha=args.alpha, seed=args.seed)
     protocol = _make_protocol(args.protocol, config.topology.total_votes,
                               args.read_quorum)
-    result = run_simulation(
-        config,
-        protocol,
-        target_half_width=args.target_half_width,
-        fail_fast=not args.keep_going,
-    )
+    telemetry = _telemetry_from_args(args)
+    if telemetry is None:
+        result = run_simulation(
+            config,
+            protocol,
+            target_half_width=args.target_half_width,
+            fail_fast=not args.keep_going,
+        )
+    else:
+        # Scope the recorder so un-plumbed layers (the optimizer) see it.
+        with _use_telemetry(telemetry):
+            result = run_simulation(
+                config,
+                protocol,
+                target_half_width=args.target_half_width,
+                fail_fast=not args.keep_going,
+                telemetry=telemetry,
+            )
     print(result.summary())
+    if result.telemetry is not None:
+        _export_telemetry(result.telemetry, args)
     return 0
 
 
@@ -298,15 +357,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         protocol = _make_protocol(args.protocol, topology.total_votes,
                                   args.read_quorum)
-    monitor = InvariantMonitor(max_records=args.max_violations)
-    report = run_chaos_campaign(
-        config,
-        protocol,
-        n_batches=args.batches,
-        monitor=monitor,
-        fail_fast=args.fail_fast,
-    )
+    telemetry = _telemetry_from_args(args)
+    monitor = InvariantMonitor(max_records=args.max_violations,
+                               telemetry=telemetry)
+    if telemetry is None:
+        report = run_chaos_campaign(
+            config,
+            protocol,
+            n_batches=args.batches,
+            monitor=monitor,
+            fail_fast=args.fail_fast,
+        )
+    else:
+        from repro.telemetry.recorder import use as _use_telemetry
+
+        with _use_telemetry(telemetry):
+            report = run_chaos_campaign(
+                config,
+                protocol,
+                n_batches=args.batches,
+                monitor=monitor,
+                fail_fast=args.fail_fast,
+                telemetry=telemetry,
+            )
     print(report.summary())
+    if report.telemetry is not None:
+        _export_telemetry(report.telemetry, args)
     if args.show_violations and report.violations:
         print()
         for record in report.violations[: args.show_violations]:
@@ -315,6 +391,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if hidden > 0:
             print(f"  ... and {hidden} more")
     return 0 if report.passed else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.export import load_snapshot_jsonl, render_report
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    snapshot = load_snapshot_jsonl(path)
+    print(render_report(snapshot))
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -367,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--keep-going", dest="keep_going", action="store_true",
                        help="quarantine failed batches (with seed + fault trace "
                        "for replay) and continue")
+    _add_telemetry_args(sim)
     sim.set_defaults(func=_cmd_simulate, keep_going=False)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure's series")
@@ -456,7 +546,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "quarantining it")
     chaos_group.add_argument("--keep-going", dest="fail_fast", action="store_false",
                              help="quarantine failed batches and continue (default)")
+    _add_telemetry_args(chaos)
     chaos.set_defaults(func=_cmd_chaos, fail_fast=False)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="summarize a --telemetry JSONL stream (spans, counters, audit)",
+    )
+    metrics.add_argument("path", help="events.jsonl file, or the directory "
+                         "--telemetry-dir wrote it to")
+    metrics.set_defaults(func=_cmd_metrics)
 
     val = sub.add_parser(
         "validate",

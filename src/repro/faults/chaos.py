@@ -28,6 +28,8 @@ from repro.quorum.assignment import QuorumAssignment
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import BatchResult, SimulationEngine, ChangeObserver
 from repro.simulation.runner import QuarantinedBatch
+from repro.telemetry.recorder import resolve as _resolve_telemetry
+from repro.telemetry.snapshot import TelemetrySnapshot
 
 __all__ = [
     "ChaosReport",
@@ -70,6 +72,8 @@ class ChaosReport:
     batches: List[BatchResult] = field(default_factory=list)
     quarantined: List[QuarantinedBatch] = field(default_factory=list)
     monitor: Optional[InvariantMonitor] = None
+    #: Telemetry snapshot of the campaign (None unless a recorder ran).
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def violations(self) -> List[ViolationRecord]:
@@ -130,6 +134,7 @@ def run_chaos_campaign(
     monitor: Optional[InvariantMonitor] = None,
     fail_fast: bool = False,
     change_observer: Optional[ChangeObserver] = None,
+    telemetry=None,
 ) -> ChaosReport:
     """Run ``n_batches`` chaos batches with invariant monitoring.
 
@@ -138,18 +143,24 @@ def run_chaos_campaign(
     useful smoke test). Defaults to keep-going semantics: a batch that
     dies is quarantined with its seed and fault trace, and the campaign
     continues; ``fail_fast=True`` restores abort-on-first-error.
+
+    ``telemetry`` (a :class:`~repro.telemetry.recorder.Telemetry`) is
+    threaded through the engine and the monitor; when active, the report
+    carries a :class:`~repro.telemetry.snapshot.TelemetrySnapshot`.
     """
     if n_batches is None:
         n_batches = config.n_batches
     if n_batches <= 0:
         raise FaultInjectionError(f"n_batches must be positive, got {n_batches}")
+    telemetry = _resolve_telemetry(telemetry)
     if monitor is None:
-        monitor = InvariantMonitor()
+        monitor = InvariantMonitor(telemetry=telemetry)
     schedule = config.fault_schedule
     engine = SimulationEngine(
         config,
         protocol,
         change_observer=_compose_observers(monitor, change_observer),
+        telemetry=telemetry,
     )
     report = ChaosReport(
         protocol_name=protocol.name,
@@ -169,6 +180,22 @@ def run_chaos_campaign(
             if fail_fast:
                 raise
             report.quarantined.append(QuarantinedBatch.from_error(exc))
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "repro_chaos_quarantined_total",
+                    "chaos batches quarantined after an execution error",
+                ).inc(protocol=protocol.name)
+    if telemetry.enabled:
+        report.telemetry = telemetry.snapshot(
+            meta={
+                "mode": "chaos",
+                "protocol": protocol.name,
+                "topology": config.topology.name,
+                "n_batches": n_batches,
+                "seed": config.seed,
+                "schedule": report.schedule_description,
+            }
+        )
     return report
 
 

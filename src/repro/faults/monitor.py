@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.connectivity.dynamic import ComponentTracker
 from repro.errors import InvariantViolation
+from repro.telemetry.recorder import resolve as _resolve_telemetry
 
 __all__ = ["ViolationRecord", "InvariantMonitor"]
 
@@ -89,10 +90,15 @@ class InvariantMonitor:
         raise_on_violation: bool = False,
         record_snapshots: bool = True,
         max_records: int = 1_000,
+        telemetry=None,
     ) -> None:
         self.raise_on_violation = raise_on_violation
         self.record_snapshots = record_snapshots
         self.max_records = int(max_records)
+        #: Violations double as metrics: every record increments
+        #: ``repro_invariant_violations_total{rule=...}`` on this recorder
+        #: (the null recorder unless one is active or passed explicitly).
+        self.telemetry = _resolve_telemetry(telemetry)
         self.violations: List[ViolationRecord] = []
         self.overflowed = 0
         self.checks_run = 0
@@ -125,6 +131,11 @@ class InvariantMonitor:
         protocol: Any = None,
     ) -> None:
         """Record one violation (or raise it, under raise_on_violation)."""
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_invariant_violations_total",
+                "safety-invariant violations observed by the chaos monitor",
+            ).inc(rule=rule)
         snapshot = (
             _snapshot(tracker, protocol) if self.record_snapshots else {}
         )
@@ -153,6 +164,11 @@ class InvariantMonitor:
     def observe(self, now: float, tracker: ComponentTracker, protocol: Any) -> None:
         """Run every applicable invariant check against the current state."""
         self.checks_run += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_invariant_checks_total",
+                "invariant check sweeps run by the chaos monitor",
+            ).inc()
         self._check_assignments(now, tracker, protocol)
         self._check_grant_disjointness(now, tracker, protocol)
         self._check_versions(now, tracker, protocol)

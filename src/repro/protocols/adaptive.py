@@ -91,8 +91,13 @@ class AdaptiveQuorumProtocol(ReplicaControlProtocol):
         self.name = f"adaptive-quorum(T={total_votes})"
         self.reset()
 
+    def bind_telemetry(self, telemetry) -> None:
+        super().bind_telemetry(telemetry)
+        self.qr.bind_telemetry(telemetry)
+
     def reset(self) -> None:
         self.qr = QuorumReassignmentProtocol(self.n_sites, self._initial)
+        self.qr.bind_telemetry(self.telemetry)
         self.density = OnlineDensityEstimator(
             self.n_sites, self.total_votes, forgetting_factor=self.forgetting_factor
         )
@@ -127,6 +132,11 @@ class AdaptiveQuorumProtocol(ReplicaControlProtocol):
             self.density.observe_all(tracker.vote_totals, weight=duration)
         if reads is not None and writes is not None:
             self.workload.observe_counts(np.asarray(reads), np.asarray(writes))
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_adaptive_estimator_updates_total",
+                "epoch observations fed to the adaptive density/workload estimators",
+            ).inc(protocol=self.name)
 
     def record_access(self, tracker: ComponentTracker, site: int, is_read: bool) -> None:
         """Feed one access observation (the paper's literal scheme)."""
@@ -186,6 +196,11 @@ class AdaptiveQuorumProtocol(ReplicaControlProtocol):
             return False
         if self.qr.try_reassign(tracker, site, best.assignment):
             self.installs += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "repro_adaptive_installs_total",
+                    "adaptive reassignments actually installed",
+                ).inc(protocol=self.name)
             return True
         return False
 

@@ -15,6 +15,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.connectivity.dynamic import ComponentTracker
+from repro.telemetry.recorder import NULL as _NULL_TELEMETRY
 
 __all__ = ["ReplicaControlProtocol"]
 
@@ -24,6 +25,16 @@ class ReplicaControlProtocol(ABC):
 
     #: Human-readable protocol name for reports.
     name: str = "protocol"
+
+    #: Telemetry recorder; the engine (or any harness) rebinds this via
+    #: :meth:`bind_telemetry`. The class-level default is the no-op null
+    #: recorder, so protocol instrumentation costs nothing un-bound.
+    telemetry = _NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry recorder for protocol-level metrics."""
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     @abstractmethod
     def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:

@@ -100,11 +100,19 @@ class QuorumReassignmentProtocol(ReplicaControlProtocol):
         traffic, so by the time any access is evaluated the component has
         converged — which is exactly the state this method establishes.
         """
+        propagated = 0
         for members, assignment, _votes in self._component_views(tracker):
             newest = int(self.site_version[members].max())
             for site in members:
+                if self.site_version[site] != newest:
+                    propagated += 1
                 self.site_version[site] = newest
                 self.site_assignment[int(site)] = assignment
+        if propagated and self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_protocol_propagations_total",
+                "sites that adopted a newer assignment version on merge",
+            ).inc(propagated, protocol=self.name)
 
     def grant_masks(self, tracker: ComponentTracker) -> Tuple[np.ndarray, np.ndarray]:
         read_mask = np.zeros(self.n_sites, dtype=bool)
@@ -156,6 +164,11 @@ class QuorumReassignmentProtocol(ReplicaControlProtocol):
             self.site_version[member] = new_version
             self.site_assignment[int(member)] = new_assignment
         self.installs += 1
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_protocol_reassignments_total",
+                "successful quorum reassignment installs",
+            ).inc(protocol=self.name)
         return True
 
     def max_version(self) -> int:

@@ -27,6 +27,7 @@ from scipy import optimize as scipy_optimize
 from repro.errors import OptimizationError
 from repro.quorum.assignment import QuorumAssignment
 from repro.quorum.availability import AvailabilityModel
+from repro.telemetry.recorder import current as _current_telemetry
 
 __all__ = ["OptimizationResult", "optimal_read_quorum", "optimize_availability"]
 
@@ -224,7 +225,20 @@ def optimal_read_quorum(
         raise OptimizationError(
             f"unknown method {method!r}; choose from {sorted(_STRATEGIES)}"
         ) from None
-    return strategy(model, alpha)
+    tel = _current_telemetry()
+    if not tel.enabled:
+        return strategy(model, alpha)
+    with tel.span("optimizer.sweep", method=method, alpha=alpha,
+                  total_votes=model.total_votes):
+        result = strategy(model, alpha)
+    tel.metrics.counter(
+        "repro_optimizer_sweeps_total", "Figure-1 optimizer sweeps run",
+    ).inc(method=method)
+    tel.metrics.counter(
+        "repro_optimizer_evaluations_total",
+        "availability-curve evaluations spent by the optimizer",
+    ).inc(result.evaluations, method=method)
+    return result
 
 
 def optimize_availability(

@@ -49,6 +49,8 @@ from repro.replication.item import ReplicatedItem
 from repro.replication.store import SiteStore
 from repro.replication.transaction import AccessOutcome, ReadResult, WriteResult
 from repro.rng import RandomState, as_generator
+from repro.telemetry import audit as _audit
+from repro.telemetry.recorder import resolve as _resolve_telemetry
 from repro.topology.model import Topology
 
 __all__ = ["ReplicatedDatabase"]
@@ -68,6 +70,7 @@ class ReplicatedDatabase:
         retry_seed: RandomState = None,
         on_wait: Optional[Callable[[float], None]] = None,
         monitor: Optional["InvariantMonitor"] = None,
+        telemetry=None,
     ) -> None:
         self.topology = topology
         self.protocol = protocol
@@ -88,6 +91,14 @@ class ReplicatedDatabase:
         #: Optional chaos monitor: serializability mismatches are recorded
         #: there (with context) instead of raised.
         self.monitor = monitor
+        #: Telemetry recorder: every access decision is audited with its
+        #: cause (granted / site_down / no_quorum / stale_assignment) and
+        #: the quorums in force. The null recorder makes this free.
+        self.telemetry = _resolve_telemetry(telemetry)
+        if self.telemetry.enabled:
+            bind = getattr(protocol, "bind_telemetry", None)
+            if bind is not None:
+                bind(self.telemetry)
 
         self.state = NetworkState(topology)
         self.tracker = ComponentTracker(self.state)
@@ -150,6 +161,51 @@ class ReplicatedDatabase:
         else:
             raise SerializabilityError(detail)
 
+    def _audit_decision(self, op: str, site: int, reason: str,
+                        votes: Optional[int], attempt: int) -> None:
+        """Audit one access decision (enabled recorders only).
+
+        A ``no_quorum`` denial is refined to ``stale_assignment`` when
+        the protocol is versioned and the submitting site's component
+        holds an assignment version older than the newest installed one —
+        the denial is then a cost of the QR propagation rule, not of the
+        partition itself.
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        protocol = self.protocol
+        members = self.tracker.component_of(site)
+        assignment = None
+        effective = getattr(protocol, "effective_assignment", None)
+        if effective is not None:
+            assignment = effective(self.tracker, site)
+        if assignment is None:
+            assignment = getattr(protocol, "assignment", None)
+        version = None
+        versions = getattr(protocol, "site_version", None)
+        if versions is not None:
+            versions = np.asarray(versions)
+            version = int(versions[members].max()) if members.size else int(versions[site])
+            if reason == _audit.NO_QUORUM and version < int(versions.max()):
+                reason = _audit.STALE_ASSIGNMENT
+        tel.audit.record(
+            self._time, op, reason,
+            site=site,
+            component_votes=None if votes is None else int(votes),
+            component_size=int(members.size),
+            read_quorum=getattr(assignment, "read_quorum", None),
+            write_quorum=getattr(assignment, "write_quorum", None),
+            assignment_version=version,
+        )
+        tel.metrics.counter(
+            "repro_db_accesses_total", "database access decisions by cause",
+        ).inc(op=op, outcome=reason)
+        if attempt > 1:
+            tel.metrics.counter(
+                "repro_db_retries_total", "access attempts beyond the first",
+            ).inc(op=op)
+
     def _retry_loop(self, attempt_once):
         """Drive ``attempt_once(attempt_number)`` under the retry policy.
 
@@ -193,6 +249,7 @@ class ReplicatedDatabase:
                 AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
             )
             self.history.append(result)
+            self._audit_decision("read", site, _audit.SITE_DOWN, None, attempt)
             return result
         votes = self.tracker.votes_at(site)
         if not self.protocol.decide(site, is_read=True, tracker=self.tracker):
@@ -201,6 +258,7 @@ class ReplicatedDatabase:
                 attempts=attempt,
             )
             self.history.append(result)
+            self._audit_decision("read", site, _audit.NO_QUORUM, votes, attempt)
             return result
 
         replicas = self._component_replicas(site)
@@ -234,6 +292,7 @@ class ReplicatedDatabase:
             attempts=attempt,
         )
         self.history.append(result)
+        self._audit_decision("read", site, _audit.GRANTED, votes, attempt)
         return result
 
     def submit_write(self, site: int, value: Any) -> WriteResult:
@@ -251,6 +310,7 @@ class ReplicatedDatabase:
                 AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
             )
             self.history.append(result)
+            self._audit_decision("write", site, _audit.SITE_DOWN, None, attempt)
             return result
         votes = self.tracker.votes_at(site)
         if not self.protocol.decide(site, is_read=False, tracker=self.tracker):
@@ -259,6 +319,7 @@ class ReplicatedDatabase:
                 attempts=attempt,
             )
             self.history.append(result)
+            self._audit_decision("write", site, _audit.NO_QUORUM, votes, attempt)
             return result
 
         replicas = self._component_replicas(site)
@@ -287,6 +348,7 @@ class ReplicatedDatabase:
             attempts=attempt,
         )
         self.history.append(result)
+        self._audit_decision("write", site, _audit.GRANTED, votes, attempt)
         return result
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ The engine reports, per batch:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
@@ -42,6 +43,8 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.processes import FailureProcesses
 from repro.simulation.trace import NetworkTrace
+from repro.telemetry import audit as _audit
+from repro.telemetry.recorder import resolve as _resolve_telemetry
 
 __all__ = ["BatchResult", "SimulationEngine", "simulate_batch"]
 
@@ -114,11 +117,20 @@ class SimulationEngine:
         change_observer: Optional[ChangeObserver] = None,
         record_trace: bool = False,
         fault_schedule: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
         self.change_observer = change_observer
         self.record_trace = record_trace
+        #: Telemetry recorder (DESIGN.md §7). Defaults to the current
+        #: module-level recorder, which is the no-op null recorder unless
+        #: one was activated; the disabled path costs a single boolean
+        #: check per instrumentation site.
+        self.telemetry = _resolve_telemetry(telemetry)
+        bind = getattr(protocol, "bind_telemetry", None)
+        if bind is not None:
+            bind(self.telemetry)
         #: Scripted chaos injectors; an explicit argument overrides the
         #: config's. Components a schedule owns are removed from the
         #: stochastic fallible set for the whole batch.
@@ -136,6 +148,13 @@ class SimulationEngine:
         ``(config.seed, batch_index)``, so results do not depend on how
         many batches run or in what order.
         """
+        tel = self.telemetry
+        tel.start_batch(batch_index)
+        with tel.span("engine.run_batch", batch=batch_index,
+                      protocol=self.protocol.name):
+            return self._run_batch(batch_index)
+
+    def _run_batch(self, batch_index: int) -> BatchResult:
         cfg = self.config
         topo = cfg.topology
         batch_seed = stream_for(cfg.seed, batch_index) if cfg.seed is not None else None
@@ -149,6 +168,7 @@ class SimulationEngine:
         tracker = ComponentTracker(state)
         self.protocol.reset()
 
+        tel = self.telemetry
         queue = EventQueue()
         processes = FailureProcesses(
             topo,
@@ -162,16 +182,18 @@ class SimulationEngine:
         if schedule is not None:
             owned_sites, owned_links = schedule.owned_components(topo)
             processes.deactivate(owned_sites, owned_links)
-        if cfg.initial_state == "stationary":
-            site_up, link_up = processes.prime_stationary(queue)
-            for site in np.nonzero(~site_up)[0]:
-                state.fail_site(int(site))
-            for link in np.nonzero(~link_up)[0]:
-                state.fail_link(int(link))
-        else:
-            processes.prime(queue)
+        with tel.span("engine.prime", initial_state=cfg.initial_state):
+            if cfg.initial_state == "stationary":
+                site_up, link_up = processes.prime_stationary(queue)
+                for site in np.nonzero(~site_up)[0]:
+                    state.fail_site(int(site))
+                for link in np.nonzero(~link_up)[0]:
+                    state.fail_link(int(link))
+            else:
+                processes.prime(queue)
         if schedule is not None:
-            schedule.prime(queue, topo, chaos_rng)
+            with tel.span("engine.apply_schedule"):
+                schedule.prime(queue, topo, chaos_rng)
         self.protocol.on_network_change(tracker)
 
         # The trace is always recorded internally: on a mid-batch failure
@@ -249,6 +271,11 @@ class SimulationEngine:
         counters: "_EpochCounters",
     ) -> float:
         """The epoch loop; returns the sim time reached (for error context)."""
+        # Telemetry is resolved once; the disabled path adds exactly one
+        # boolean test per instrumentation site (CI smoke-checks <5%).
+        instruments = (
+            _EngineInstruments(self.telemetry) if self.telemetry.enabled else None
+        )
         now = 0.0
         while now < horizon:
             epoch_end = min(queue.peek_time(), horizon) if queue else horizon
@@ -261,7 +288,12 @@ class SimulationEngine:
 
             if duration > 0 and measuring:
                 vote_totals = tracker.vote_totals
-                read_mask, write_mask = self.protocol.grant_masks(tracker)
+                if instruments is None:
+                    read_mask, write_mask = self.protocol.grant_masks(tracker)
+                else:
+                    wall0 = perf_counter()
+                    read_mask, write_mask = self.protocol.grant_masks(tracker)
+                    instruments.grant_seconds.observe(perf_counter() - wall0)
                 # PhasedWorkload exposes .at(time); plain workloads are
                 # constant. Phase times are measured from the warm-up end
                 # so schedules are independent of the warm-up length.
@@ -291,6 +323,11 @@ class SimulationEngine:
                 if epoch_hook is not None:
                     epoch_hook(tracker, duration, reads=reads, writes=writes)
                 counters.n_epochs += 1
+                if instruments is not None:
+                    instruments.account_epoch(
+                        now, duration, reads, writes, read_mask, write_mask,
+                        tracker, state, self.protocol,
+                    )
 
             now = epoch_end
             if now >= horizon:
@@ -301,7 +338,15 @@ class SimulationEngine:
                 self._apply(event, state, processes, queue)
                 trace.record(event)
                 counters.n_events += 1
-            self.protocol.on_network_change(tracker)
+                if instruments is not None:
+                    instruments.events.inc(kind=event.kind.value,
+                                           source=event.source)
+            if instruments is None:
+                self.protocol.on_network_change(tracker)
+            else:
+                wall0 = perf_counter()
+                self.protocol.on_network_change(tracker)
+                instruments.recompute_seconds.observe(perf_counter() - wall0)
             if self.change_observer is not None:
                 self.change_observer(now, tracker, self.protocol)
         return now
@@ -337,6 +382,127 @@ class SimulationEngine:
                 processes.schedule_failure(queue, event.time, kind, event.target)
         else:
             raise SimulationError(f"engine cannot apply event kind {kind}")
+
+
+class _EngineInstruments:
+    """Pre-registered metric handles plus the per-epoch audit attributor.
+
+    Only constructed when telemetry is enabled, so the disabled engine
+    never touches a registry. The audit attribution decomposes the bulk
+    epoch accounting by denial cause: ``site_down`` (the submitting site
+    itself is down), ``stale_assignment`` (the site's component holds an
+    assignment version older than the newest installed one — versioned
+    protocols only), and ``no_quorum`` (everything else). The per-cause
+    volumes sum exactly to the epoch's denied access volume, which is
+    what makes the run's ACC reconcile against the audit log.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self.epochs = metrics.counter(
+            "repro_engine_epochs_total", "measured epochs accounted")
+        self.events = metrics.counter(
+            "repro_engine_events_total", "topology events applied, by kind/source")
+        self.accesses = metrics.counter(
+            "repro_engine_accesses_total", "access volume by op and decision")
+        self.estimator_updates = metrics.counter(
+            "repro_engine_estimator_updates_total",
+            "on-line density estimator update calls")
+        self.epoch_sim_time = metrics.histogram(
+            "repro_engine_epoch_sim_time", "simulated duration of measured epochs")
+        self.grant_seconds = metrics.histogram(
+            "repro_engine_grant_mask_seconds",
+            "wall time of protocol grant-mask evaluation (quorum checks)")
+        self.recompute_seconds = metrics.histogram(
+            "repro_engine_network_change_seconds",
+            "wall time of post-event component recomputation / protocol update")
+
+    # ------------------------------------------------------------------
+    def account_epoch(self, now, duration, reads, writes, read_mask,
+                      write_mask, tracker, state, protocol) -> None:
+        self.epochs.inc()
+        self.epoch_sim_time.observe(duration)
+        self.estimator_updates.inc(2.0)  # density_time + density_access
+
+        site_up = state.site_up
+        vote_totals = tracker.vote_totals
+        comp_version, newest = self._component_versions(tracker, protocol)
+        assignment = getattr(protocol, "assignment", None)
+        q_r = getattr(assignment, "read_quorum", None)
+        q_w = getattr(assignment, "write_quorum", None)
+        audit = self.telemetry.audit
+
+        for op, volumes, mask in (
+            ("read", reads, read_mask),
+            ("write", writes, write_mask),
+        ):
+            granted_vol = float(volumes[mask].sum())
+            if granted_vol > 0:
+                self.accesses.inc(granted_vol, op=op, decision="granted")
+                audit.record(
+                    now, op, _audit.GRANTED, granted_vol,
+                    component_votes=int(vote_totals[mask].max()),
+                    component_size=int(mask.sum()),
+                    read_quorum=q_r, write_quorum=q_w,
+                    assignment_version=newest,
+                )
+            denied = ~mask
+            down = denied & ~site_up
+            down_vol = float(volumes[down].sum())
+            if down_vol > 0:
+                self.accesses.inc(down_vol, op=op, decision="denied")
+                audit.record(now, op, _audit.SITE_DOWN, down_vol,
+                             component_size=int(down.sum()))
+            up_denied = denied & site_up
+            if comp_version is not None:
+                stale = up_denied & (comp_version < newest)
+                stale_vol = float(volumes[stale].sum())
+                if stale_vol > 0:
+                    self.accesses.inc(stale_vol, op=op, decision="denied")
+                    audit.record(
+                        now, op, _audit.STALE_ASSIGNMENT, stale_vol,
+                        component_votes=int(vote_totals[stale].max()),
+                        component_size=int(stale.sum()),
+                        read_quorum=q_r, write_quorum=q_w,
+                        assignment_version=int(comp_version[stale].max()),
+                    )
+                no_quorum = up_denied & ~stale
+            else:
+                no_quorum = up_denied
+            noq_vol = float(volumes[no_quorum].sum())
+            if noq_vol > 0:
+                self.accesses.inc(noq_vol, op=op, decision="denied")
+                audit.record(
+                    now, op, _audit.NO_QUORUM, noq_vol,
+                    component_votes=int(vote_totals[no_quorum].max()),
+                    component_size=int(no_quorum.sum()),
+                    read_quorum=q_r, write_quorum=q_w,
+                    assignment_version=newest,
+                )
+
+    @staticmethod
+    def _component_versions(tracker, protocol):
+        """Per-site version of the site's component (versioned protocols).
+
+        A component's version is the newest any member holds (the QR
+        propagation rule converges members to it); isolated/down sites
+        keep their own. Returns (None, None) for unversioned protocols.
+        """
+        versions = getattr(protocol, "site_version", None)
+        if versions is None:
+            return None, None
+        versions = np.asarray(versions)
+        newest = int(versions.max())
+        labels = tracker.labels
+        live = labels >= 0
+        comp_version = versions.copy()
+        if live.any():
+            n_components = int(labels[live].max()) + 1
+            comp_max = np.zeros(n_components, dtype=versions.dtype)
+            np.maximum.at(comp_max, labels[live], versions[live])
+            comp_version[live] = comp_max[labels[live]]
+        return comp_version, newest
 
 
 @dataclass

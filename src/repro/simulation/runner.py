@@ -27,6 +27,8 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import BatchResult, SimulationEngine, ChangeObserver
 from repro.simulation.stats import BatchStatistics
 from repro.simulation.trace import NetworkTrace
+from repro.telemetry.recorder import resolve as _resolve_telemetry
+from repro.telemetry.snapshot import TelemetrySnapshot
 
 __all__ = ["QuarantinedBatch", "SimulationResult", "run_simulation"]
 
@@ -86,6 +88,9 @@ class SimulationResult:
     batches: List[BatchResult]
     #: Batches that aborted and were kept aside (keep-going mode only).
     quarantined: List[QuarantinedBatch] = field(default_factory=list)
+    #: Frozen telemetry capture (present when the run had an enabled
+    #: recorder): metrics, span tree, and the quorum-decision audit log.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     # ------------------------------------------------------------------
     def _metric(self, name: str, extractor) -> BatchStatistics:
@@ -224,6 +229,7 @@ def run_simulation(
     max_batches: int = 18,
     change_observer: Optional[ChangeObserver] = None,
     fail_fast: bool = True,
+    telemetry=None,
 ) -> SimulationResult:
     """Run the paper's batch procedure.
 
@@ -238,12 +244,19 @@ def run_simulation(
     *quarantined* — its seed, fault trace, and failure snapshot are kept
     on ``SimulationResult.quarantined`` for deterministic replay — and
     the campaign continues with the remaining batches.
+
+    With an enabled ``telemetry`` recorder (explicit, or scoped via
+    :func:`repro.telemetry.use`), the returned result carries a
+    :class:`~repro.telemetry.snapshot.TelemetrySnapshot` of the whole
+    run on ``result.telemetry``.
     """
     if max_batches < config.n_batches:
         raise SimulationError(
             f"max_batches ({max_batches}) below configured n_batches ({config.n_batches})"
         )
-    engine = SimulationEngine(config, protocol, change_observer)
+    telemetry = _resolve_telemetry(telemetry)
+    engine = SimulationEngine(config, protocol, change_observer,
+                              telemetry=telemetry)
     batches: List[BatchResult] = []
     quarantined: List[QuarantinedBatch] = []
 
@@ -272,4 +285,14 @@ def run_simulation(
             attempt(next_index)
             next_index += 1
             result = SimulationResult(config, protocol.name, batches, quarantined)
+    if telemetry.enabled:
+        result.telemetry = telemetry.snapshot(
+            meta={
+                "protocol": protocol.name,
+                "topology": config.topology.name,
+                "alpha": config.workload.alpha,
+                "n_batches": len(batches),
+                "seed": config.seed,
+            }
+        )
     return result

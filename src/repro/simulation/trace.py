@@ -25,7 +25,11 @@ from repro.errors import SimulationError
 from repro.simulation.events import Event, EventKind
 from repro.topology.model import Topology
 
-__all__ = ["NetworkTrace", "TraceReplayer"]
+__all__ = ["NetworkTrace", "TraceReplayer", "TRACE_SCHEMA_VERSION"]
+
+#: Serialized-trace schema version. v1 payloads predate the ``sources``
+#: provenance list (and carry no ``schema`` key at all); v2 adds both.
+TRACE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -95,13 +99,29 @@ class NetworkTrace:
         ]
 
     def _padded_sources(self) -> List[str]:
-        """Sources padded to len(events) for traces built without them."""
-        missing = len(self.events) - len(self.sources)
-        return self.sources + ["stochastic"] * missing if missing > 0 else self.sources
+        """Sources aligned to len(events) for traces built without them.
+
+        Pads with ``"stochastic"`` when short (pre-provenance traces) and
+        truncates when long (never produced here, but a corrupt payload
+        must not smear provenance onto events that don't exist).
+        """
+        n = len(self.events)
+        missing = n - len(self.sources)
+        if missing > 0:
+            return self.sources + ["stochastic"] * missing
+        if missing < 0:
+            return self.sources[:n]
+        return self.sources
 
     def to_dict(self) -> Dict:
-        """JSON-compatible serialization."""
+        """JSON-compatible serialization (schema v2).
+
+        ``sources`` is always emitted at exactly ``len(events)`` entries —
+        including the empty-events case — so ``from_dict(to_dict(t))`` is
+        the identity for any trace this class can produce.
+        """
         return {
+            "schema": TRACE_SCHEMA_VERSION,
             "n_sites": self.n_sites,
             "n_links": self.n_links,
             "initial_site_up": self.initial_site_up.astype(int).tolist(),
@@ -112,13 +132,23 @@ class NetworkTrace:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "NetworkTrace":
+        schema = int(payload.get("schema", 1))
+        if not 1 <= schema <= TRACE_SCHEMA_VERSION:
+            raise SimulationError(
+                f"unsupported trace schema version {schema} "
+                f"(this build reads 1..{TRACE_SCHEMA_VERSION})"
+            )
         try:
             events = [(float(t), str(k), int(x)) for t, k, x in payload["events"]]
             sources = [str(s) for s in payload.get("sources", [])]
-            if sources and len(sources) != len(events):
+            if len(sources) > len(events):
                 raise SimulationError(
                     f"trace dict has {len(events)} events but {len(sources)} sources"
                 )
+            if len(sources) < len(events):
+                # v1 payloads (or hand-built dicts) lack provenance; align
+                # eagerly so a later record() can't misattribute its source.
+                sources = sources + ["stochastic"] * (len(events) - len(sources))
             return cls(
                 n_sites=int(payload["n_sites"]),
                 n_links=int(payload["n_links"]),

@@ -1,0 +1,211 @@
+"""The quorum-decision audit log: every grant/denial, with its cause.
+
+ACC — the paper's headline metric — is a single ratio; the audit log is
+its decomposition. Each record says *why* an access (or, from the bulk
+simulation engine, a volume of statistically identical accesses) ended
+the way it did:
+
+- ``granted``          — a quorum was present;
+- ``site_down``        — the submitting site itself was down (ACC counts
+  these as denials);
+- ``no_quorum``        — the site was up but its component's votes fell
+  short of the quorum in force;
+- ``stale_assignment`` — the component was denied while holding an
+  assignment version older than the newest installed one (the QR
+  propagation rule's observable cost).
+
+Aggregate volumes per ``(op, reason)`` are tracked unconditionally and
+exactly — the record list may be capped (``max_records``), but the
+totals always reconcile with the run's ACC numerator and denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "GRANTED",
+    "SITE_DOWN",
+    "NO_QUORUM",
+    "STALE_ASSIGNMENT",
+    "DENIAL_REASONS",
+    "AuditRecord",
+    "AuditLog",
+]
+
+GRANTED = "granted"
+SITE_DOWN = "site_down"
+NO_QUORUM = "no_quorum"
+STALE_ASSIGNMENT = "stale_assignment"
+
+#: Every reason an access can be denied.
+DENIAL_REASONS = (SITE_DOWN, NO_QUORUM, STALE_ASSIGNMENT)
+
+
+@dataclass
+class AuditRecord:
+    """One audited quorum decision (or an epoch-aggregate of identical ones)."""
+
+    time: float
+    op: str  # "read" | "write"
+    reason: str
+    #: Access volume carried by this record: 1.0 on the per-access
+    #: database path; an expected/sampled epoch volume on the engine path.
+    volume: float
+    site: Optional[int] = None
+    #: Votes visible in the deciding component (largest affected
+    #: component's votes for aggregates), and its member count.
+    component_votes: Optional[int] = None
+    component_size: Optional[int] = None
+    #: Quorums in force at decision time, when the protocol exposes them.
+    read_quorum: Optional[int] = None
+    write_quorum: Optional[int] = None
+    #: Assignment version held by the deciding component (versioned
+    #: protocols only).
+    assignment_version: Optional[int] = None
+    batch_index: Optional[int] = None
+
+    @property
+    def granted(self) -> bool:
+        return self.reason == GRANTED
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "op": self.op,
+            "reason": self.reason,
+            "volume": self.volume,
+            "site": self.site,
+            "component_votes": self.component_votes,
+            "component_size": self.component_size,
+            "read_quorum": self.read_quorum,
+            "write_quorum": self.write_quorum,
+            "assignment_version": self.assignment_version,
+            "batch_index": self.batch_index,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AuditRecord":
+        def opt_int(key: str) -> Optional[int]:
+            value = payload.get(key)
+            return None if value is None else int(value)
+
+        return cls(
+            time=float(payload["time"]),
+            op=str(payload["op"]),
+            reason=str(payload["reason"]),
+            volume=float(payload["volume"]),
+            site=opt_int("site"),
+            component_votes=opt_int("component_votes"),
+            component_size=opt_int("component_size"),
+            read_quorum=opt_int("read_quorum"),
+            write_quorum=opt_int("write_quorum"),
+            assignment_version=opt_int("assignment_version"),
+            batch_index=opt_int("batch_index"),
+        )
+
+    def __str__(self) -> str:
+        where = f"site {self.site}" if self.site is not None else "aggregate"
+        quorum = (
+            f", q_r={self.read_quorum}/q_w={self.write_quorum}"
+            if self.read_quorum is not None
+            else ""
+        )
+        version = (
+            f", v{self.assignment_version}"
+            if self.assignment_version is not None
+            else ""
+        )
+        return (
+            f"[t={self.time:.4g}] {self.op} x{self.volume:g} at {where}: "
+            f"{self.reason} (votes={self.component_votes}{quorum}{version})"
+        )
+
+
+@dataclass
+class AuditLog:
+    """Accumulates audit records with exact per-cause volume totals."""
+
+    max_records: int = 50_000
+    records: List[AuditRecord] = field(default_factory=list)
+    overflowed: int = 0
+    #: Exact volume per (op, reason), never capped.
+    totals: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    _batch_index: Optional[int] = None
+
+    def start_batch(self, batch_index: int) -> None:
+        """Tag subsequent records with ``batch_index``."""
+        self._batch_index = batch_index
+
+    def record(
+        self,
+        time: float,
+        op: str,
+        reason: str,
+        volume: float = 1.0,
+        **detail: object,
+    ) -> None:
+        if volume <= 0:
+            return
+        key = (op, reason)
+        self.totals[key] = self.totals.get(key, 0.0) + float(volume)
+        if len(self.records) >= self.max_records:
+            self.overflowed += 1
+            return
+        self.records.append(
+            AuditRecord(
+                time=time,
+                op=op,
+                reason=reason,
+                volume=float(volume),
+                batch_index=self._batch_index,
+                **detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reconciliation views
+    # ------------------------------------------------------------------
+    def volume(self, op: Optional[str] = None,
+               reason: Optional[str] = None) -> float:
+        """Total volume matching the given op and/or reason filters."""
+        return sum(
+            v
+            for (rec_op, rec_reason), v in self.totals.items()
+            if (op is None or rec_op == op)
+            and (reason is None or rec_reason == reason)
+        )
+
+    def submitted(self, op: Optional[str] = None) -> float:
+        return self.volume(op=op)
+
+    def granted(self, op: Optional[str] = None) -> float:
+        return self.volume(op=op, reason=GRANTED)
+
+    def denied(self, op: Optional[str] = None) -> float:
+        return self.submitted(op) - self.granted(op)
+
+    def denials_by_reason(self, op: Optional[str] = None) -> Dict[str, float]:
+        """Per-cause denial volumes (only causes actually observed)."""
+        out: Dict[str, float] = {}
+        for (rec_op, reason), v in self.totals.items():
+            if reason == GRANTED:
+                continue
+            if op is None or rec_op == op:
+                out[reason] = out.get(reason, 0.0) + v
+        return out
+
+    def availability(self) -> float:
+        """ACC over everything audited (granted / submitted)."""
+        total = self.submitted()
+        return self.granted() / total if total > 0 else 0.0
+
+    def totals_as_dicts(self) -> List[Dict[str, object]]:
+        return [
+            {"op": op, "reason": reason, "volume": volume}
+            for (op, reason), volume in sorted(self.totals.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)

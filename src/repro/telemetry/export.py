@@ -1,0 +1,178 @@
+"""Exporters: Prometheus text, JSON-lines, and the human report.
+
+All three consume a :class:`~repro.telemetry.snapshot.TelemetrySnapshot`
+(plain data), never a live recorder, so exporting cannot perturb a run
+and ``repro metrics`` can re-render a stream written days earlier.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ReproError
+from repro.telemetry.snapshot import TelemetrySnapshot
+
+__all__ = [
+    "to_prometheus",
+    "to_jsonl_lines",
+    "write_jsonl",
+    "load_snapshot_jsonl",
+    "render_report",
+]
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: TelemetrySnapshot) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms)."""
+    lines: List[str] = []
+
+    def emit_scalar(metric: Dict[str, object], kind: str) -> None:
+        name = _prom_name(metric["name"])
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in metric["series"]:
+            lines.append(f"{name}{_prom_labels(series['labels'])} {series['value']:g}")
+
+    for metric in snapshot.counters:
+        emit_scalar(metric, "counter")
+    for metric in snapshot.gauges:
+        emit_scalar(metric, "gauge")
+    for metric in snapshot.histograms:
+        name = _prom_name(metric["name"])
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} histogram")
+        bounds = list(metric["buckets"]) + ["+Inf"]
+        for series in metric["series"]:
+            labels = series["labels"]
+            cumulative = 0
+            for bound, count in zip(bounds, series["bucket_counts"]):
+                cumulative += count
+                le = "+Inf" if bound == "+Inf" else f"{bound:g}"
+                le_label = 'le="' + le + '"'
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, le_label)} {cumulative}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {series['sum']:g}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {series['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl_lines(snapshot: TelemetrySnapshot) -> List[str]:
+    return [json.dumps(record, sort_keys=True) for record in snapshot.to_records()]
+
+
+def write_jsonl(snapshot: TelemetrySnapshot, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(to_jsonl_lines(snapshot)) + "\n")
+    return path
+
+
+def load_snapshot_jsonl(path: Union[str, Path]) -> TelemetrySnapshot:
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"telemetry stream not found: {path}")
+    records = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_no}: invalid JSON in telemetry stream: {exc}"
+                ) from None
+    return TelemetrySnapshot.from_records(records)
+
+
+# ----------------------------------------------------------------------
+# Human report
+# ----------------------------------------------------------------------
+
+def _span_rollup(snapshot: TelemetrySnapshot) -> List[Dict[str, object]]:
+    """Cumulative wall/CPU per span name, from the aggregate histogram."""
+    rollup: Dict[str, Dict[str, object]] = {}
+    for series in snapshot.histogram_series("repro_span_seconds"):
+        name = series["labels"].get("name", "?")
+        rollup[name] = {
+            "name": name,
+            "count": series["count"],
+            "wall": series["sum"],
+            "mean": series["mean"] or 0.0,
+            "p50": (series["quantiles"] or {}).get("0.5"),
+        }
+    # CPU totals come from the retained span records (capped, best-effort).
+    for span in snapshot.spans:
+        entry = rollup.get(span["name"])
+        if entry is not None:
+            entry["cpu"] = entry.get("cpu", 0.0) + span["cpu"]
+    return sorted(rollup.values(), key=lambda e: -e["wall"])
+
+
+def render_report(snapshot: TelemetrySnapshot) -> str:
+    """The ``repro metrics`` summary: spans, key counters, audit causes."""
+    lines: List[str] = ["telemetry report", "================"]
+    meta = {k: v for k, v in snapshot.meta.items() if k != "created_at"}
+    for key in sorted(meta):
+        lines.append(f"{key:<14}: {meta[key]}")
+
+    rollup = _span_rollup(snapshot)
+    if rollup:
+        lines.append("")
+        lines.append("spans (cumulative wall time)")
+        lines.append(f"  {'name':<32} {'calls':>7} {'wall s':>10} {'mean s':>10} {'cpu s':>10}")
+        for entry in rollup:
+            cpu = entry.get("cpu")
+            lines.append(
+                f"  {entry['name']:<32} {entry['count']:>7} "
+                f"{entry['wall']:>10.4f} {entry['mean']:>10.6f} "
+                f"{cpu if cpu is None else format(cpu, '10.4f'):>10}"
+            )
+        if snapshot.span_overflow:
+            lines.append(f"  ({snapshot.span_overflow} spans beyond the record cap; "
+                         "aggregates above remain exact)")
+
+    interesting = [
+        metric for metric in snapshot.counters
+        if metric["name"] != "repro_span_seconds" and metric["series"]
+    ]
+    if interesting:
+        lines.append("")
+        lines.append("counters")
+        for metric in interesting:
+            for series in metric["series"]:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+                suffix = f"{{{labels}}}" if labels else ""
+                lines.append(f"  {metric['name']}{suffix:<40} {series['value']:g}")
+
+    submitted = snapshot.audit_volume()
+    if submitted > 0:
+        granted = snapshot.audit_volume(reason="granted")
+        denied = submitted - granted
+        lines.append("")
+        lines.append("quorum-decision audit")
+        lines.append(f"  submitted : {submitted:g}")
+        lines.append(f"  granted   : {granted:g}  (ACC = {granted / submitted:.4f})")
+        lines.append(f"  denied    : {denied:g}")
+        by_reason = snapshot.denials_by_reason()
+        for reason in sorted(by_reason):
+            share = by_reason[reason] / denied if denied > 0 else 0.0
+            lines.append(f"    {reason:<18} {by_reason[reason]:>12g}  ({share:6.1%})")
+        residual = denied - sum(by_reason.values())
+        lines.append(f"  unattributed denial volume: {abs(residual):.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""TelemetrySnapshot: a frozen, serializable capture of one run.
+
+The live :class:`~repro.telemetry.recorder.Telemetry` object is mutable
+and full of estimator state; the snapshot is plain data — dicts, lists,
+floats — so it can ride on a :class:`~repro.simulation.runner.
+SimulationResult`, stream to JSON-lines, render to Prometheus text, and
+round-trip back for ``repro metrics`` without importing any simulator
+machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.telemetry.audit import GRANTED
+
+__all__ = ["TelemetrySnapshot"]
+
+#: Serialization format version for the JSON-lines stream.
+SCHEMA_VERSION = 1
+
+
+def _labels_dict(key) -> Dict[str, str]:
+    return {k: v for k, v in key}
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Plain-data capture of metrics, spans, and the audit log."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    counters: List[Dict[str, object]] = field(default_factory=list)
+    gauges: List[Dict[str, object]] = field(default_factory=list)
+    histograms: List[Dict[str, object]] = field(default_factory=list)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    span_overflow: int = 0
+    audit_records: List[Dict[str, object]] = field(default_factory=list)
+    audit_totals: List[Dict[str, object]] = field(default_factory=list)
+    audit_overflow: int = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_telemetry(cls, telemetry, meta: Optional[dict] = None
+                       ) -> "TelemetrySnapshot":
+        from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+        snap = cls(meta={"created_at": _time.time(), **(meta or {})})
+        metrics = list(telemetry.metrics)
+        # The span-duration histogram is aggregated alongside user metrics.
+        metrics.append(telemetry.spans.seconds)
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                snap.counters.append(_scalar_metric(metric))
+            elif isinstance(metric, Gauge):
+                snap.gauges.append(_scalar_metric(metric))
+            elif isinstance(metric, Histogram):
+                snap.histograms.append(_histogram_metric(metric))
+        snap.spans = [record.to_dict() for record in telemetry.spans.records]
+        snap.span_overflow = telemetry.spans.overflowed
+        snap.audit_records = [record.to_dict() for record in telemetry.audit.records]
+        snap.audit_totals = telemetry.audit.totals_as_dicts()
+        snap.audit_overflow = telemetry.audit.overflowed
+        return snap
+
+    # ------------------------------------------------------------------
+    # Metric lookups (reports and tests)
+    # ------------------------------------------------------------------
+    def _find(self, collection: List[Dict[str, object]], name: str
+              ) -> Optional[Dict[str, object]]:
+        for metric in collection:
+            if metric["name"] == name:
+                return metric
+        return None
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Value of one counter series (0 when absent); no labels = sum."""
+        metric = self._find(self.counters, name)
+        if metric is None:
+            return 0.0
+        if not labels:
+            return sum(s["value"] for s in metric["series"])
+        want = {k: str(v) for k, v in labels.items()}
+        return sum(
+            s["value"]
+            for s in metric["series"]
+            if all(s["labels"].get(k) == v for k, v in want.items())
+        )
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        metric = self._find(self.gauges, name)
+        if metric is None:
+            return math.nan
+        want = {k: str(v) for k, v in labels.items()}
+        for series in metric["series"]:
+            if series["labels"] == want:
+                return series["value"]
+        return math.nan
+
+    def histogram_series(self, name: str) -> List[Dict[str, object]]:
+        metric = self._find(self.histograms, name)
+        return list(metric["series"]) if metric else []
+
+    # ------------------------------------------------------------------
+    # Audit views
+    # ------------------------------------------------------------------
+    def audit_volume(self, op: Optional[str] = None,
+                     reason: Optional[str] = None) -> float:
+        return sum(
+            entry["volume"]
+            for entry in self.audit_totals
+            if (op is None or entry["op"] == op)
+            and (reason is None or entry["reason"] == reason)
+        )
+
+    def denials_by_reason(self, op: Optional[str] = None) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for entry in self.audit_totals:
+            if entry["reason"] == GRANTED:
+                continue
+            if op is None or entry["op"] == op:
+                out[entry["reason"]] = out.get(entry["reason"], 0.0) + entry["volume"]
+        return out
+
+    def audit_availability(self) -> float:
+        submitted = self.audit_volume()
+        return self.audit_volume(reason=GRANTED) / submitted if submitted > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # JSON-lines round trip
+    # ------------------------------------------------------------------
+    def to_records(self) -> Iterator[Dict[str, object]]:
+        """Typed record stream: one dict per JSON line."""
+        yield {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "meta": self.meta,
+            "span_overflow": self.span_overflow,
+            "audit_overflow": self.audit_overflow,
+        }
+        for kind, collection in (
+            ("counter", self.counters),
+            ("gauge", self.gauges),
+            ("histogram", self.histograms),
+        ):
+            for metric in collection:
+                yield {"type": kind, **metric}
+        for span in self.spans:
+            yield {"type": "span", **span}
+        for record in self.audit_records:
+            yield {"type": "audit", **record}
+        for total in self.audit_totals:
+            yield {"type": "audit_total", **total}
+
+    @classmethod
+    def from_records(cls, records) -> "TelemetrySnapshot":
+        snap = cls()
+        seen_meta = False
+        for record in records:
+            kind = record.get("type")
+            payload = {k: v for k, v in record.items() if k != "type"}
+            if kind == "meta":
+                schema = int(payload.get("schema", 0))
+                if schema != SCHEMA_VERSION:
+                    raise ReproError(
+                        f"telemetry stream schema {schema} not supported "
+                        f"(expected {SCHEMA_VERSION})"
+                    )
+                snap.meta = dict(payload.get("meta", {}))
+                snap.span_overflow = int(payload.get("span_overflow", 0))
+                snap.audit_overflow = int(payload.get("audit_overflow", 0))
+                seen_meta = True
+            elif kind == "counter":
+                snap.counters.append(payload)
+            elif kind == "gauge":
+                snap.gauges.append(payload)
+            elif kind == "histogram":
+                snap.histograms.append(payload)
+            elif kind == "span":
+                snap.spans.append(payload)
+            elif kind == "audit":
+                snap.audit_records.append(payload)
+            elif kind == "audit_total":
+                snap.audit_totals.append(payload)
+            else:
+                raise ReproError(f"unknown telemetry record type {kind!r}")
+        if not seen_meta:
+            raise ReproError("telemetry stream carries no meta record")
+        return snap
+
+
+def _scalar_metric(metric) -> Dict[str, object]:
+    return {
+        "name": metric.name,
+        "help": metric.help,
+        "series": [
+            {"labels": _labels_dict(key), "value": value}
+            for key, value in sorted(metric.series().items())
+        ],
+    }
+
+
+def _histogram_metric(metric) -> Dict[str, object]:
+    series = []
+    for key, state in sorted(metric.series().items()):
+        series.append(
+            {
+                "labels": _labels_dict(key),
+                "bucket_counts": list(state.bucket_counts),
+                "count": state.count,
+                "sum": state.sum,
+                "min": None if math.isinf(state.min) else state.min,
+                "max": None if math.isinf(state.max) else state.max,
+                "mean": None if state.count == 0 else state.mean(),
+                "stddev": None if state.count == 0 else state.stddev(),
+                "quantiles": {
+                    str(q): (None if math.isnan(est.value()) else est.value())
+                    for q, est in state.quantiles.items()
+                },
+            }
+        )
+    return {
+        "name": metric.name,
+        "help": metric.help,
+        "buckets": list(metric.buckets),
+        "series": series,
+    }

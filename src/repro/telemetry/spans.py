@@ -1,0 +1,161 @@
+"""Span-based tracing: nested timed sections with wall and CPU clocks.
+
+A span marks one named section of work (``engine.run_batch``,
+``optimizer.sweep``). Spans nest: the collector keeps an active stack,
+so a span opened while another is open records it as its parent, and the
+exported span tree reconstructs exactly where time went. Both wall time
+(``perf_counter``) and CPU time (``process_time``) are captured, so I/O
+or GC stalls are distinguishable from compute.
+
+Finished spans are kept up to ``max_spans``; beyond that they are
+dropped (counted in ``overflowed``) but their durations still feed the
+``repro_span_seconds`` histogram, so aggregate timings stay exact even
+on runs with millions of spans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import Histogram
+
+__all__ = ["SpanRecord", "ActiveSpan", "SpanCollector", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    attrs: Dict[str, object]
+    start: float  # perf_counter at entry (run-relative once exported)
+    wall: float
+    cpu: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        return cls(
+            span_id=int(payload["span_id"]),
+            parent_id=(None if payload.get("parent_id") is None
+                       else int(payload["parent_id"])),
+            name=str(payload["name"]),
+            attrs=dict(payload.get("attrs", {})),
+            start=float(payload["start"]),
+            wall=float(payload["wall"]),
+            cpu=float(payload["cpu"]),
+        )
+
+
+class ActiveSpan:
+    """Context manager for one span; created by :meth:`SpanCollector.span`."""
+
+    __slots__ = ("_collector", "name", "attrs", "span_id", "parent_id",
+                 "_wall0", "_cpu0")
+
+    def __init__(self, collector: "SpanCollector", name: str,
+                 attrs: Dict[str, object]) -> None:
+        self._collector = collector
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "ActiveSpan":
+        collector = self._collector
+        self.span_id = collector._next_id
+        collector._next_id += 1
+        stack = collector._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        collector = self._collector
+        # Pop down to (and including) this span: tolerant of a child that
+        # leaked past its parent's exit via an exception.
+        stack = collector._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        collector._finish(self, wall, cpu)
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanCollector:
+    """Collects finished spans and aggregates their durations."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self.max_spans = int(max_spans)
+        self.records: List[SpanRecord] = []
+        self.overflowed = 0
+        self.seconds = Histogram(
+            "repro_span_seconds", "wall-clock duration of traced spans",
+        )
+        self._stack: List[ActiveSpan] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: object) -> ActiveSpan:
+        return ActiveSpan(self, name, attrs)
+
+    def _finish(self, span: ActiveSpan, wall: float, cpu: float) -> None:
+        self.seconds.observe(wall, name=span.name)
+        if len(self.records) >= self.max_spans:
+            self.overflowed += 1
+            return
+        self.records.append(
+            SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                attrs=span.attrs,
+                start=span._wall0 - self._epoch,
+                wall=wall,
+                cpu=cpu,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def children_of(self, span_id: Optional[int]) -> List[SpanRecord]:
+        return [r for r in self.records if r.parent_id == span_id]
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,82 @@
+"""Unit tests for the quorum-decision audit log."""
+
+import pytest
+
+from repro.telemetry.audit import (
+    GRANTED,
+    NO_QUORUM,
+    SITE_DOWN,
+    STALE_ASSIGNMENT,
+    AuditLog,
+    AuditRecord,
+)
+
+
+def test_record_carries_decision_context():
+    log = AuditLog()
+    log.start_batch(4)
+    log.record(1.5, "read", GRANTED, volume=2.0, site=3, component_votes=4,
+               component_size=4, read_quorum=2, write_quorum=4,
+               assignment_version=1)
+    (rec,) = log.records
+    assert rec.granted
+    assert rec.batch_index == 4
+    assert rec.component_votes == 4
+    assert rec.read_quorum == 2 and rec.write_quorum == 4
+    assert rec.assignment_version == 1
+
+
+def test_zero_volume_ignored():
+    log = AuditLog()
+    log.record(0.0, "read", GRANTED, volume=0.0)
+    assert len(log) == 0
+    assert log.submitted() == 0.0
+
+
+def test_totals_partition_submitted_volume():
+    log = AuditLog()
+    log.record(0.0, "read", GRANTED, volume=10.0)
+    log.record(0.0, "read", SITE_DOWN, volume=2.0)
+    log.record(0.0, "write", NO_QUORUM, volume=3.0)
+    log.record(0.0, "write", STALE_ASSIGNMENT, volume=1.0)
+    assert log.submitted() == 16.0
+    assert log.granted() == 10.0
+    assert log.denied() == 6.0
+    assert log.denials_by_reason() == {
+        SITE_DOWN: 2.0, NO_QUORUM: 3.0, STALE_ASSIGNMENT: 1.0,
+    }
+    assert sum(log.denials_by_reason().values()) == log.denied()
+    assert log.availability() == pytest.approx(10.0 / 16.0)
+
+
+def test_per_op_filters():
+    log = AuditLog()
+    log.record(0.0, "read", GRANTED, volume=4.0)
+    log.record(0.0, "write", NO_QUORUM, volume=1.0)
+    assert log.submitted("read") == 4.0
+    assert log.denied("read") == 0.0
+    assert log.denied("write") == 1.0
+
+
+def test_cap_preserves_exact_totals():
+    log = AuditLog(max_records=3)
+    for _ in range(10):
+        log.record(0.0, "read", GRANTED)
+    assert len(log) == 3
+    assert log.overflowed == 7
+    # The reconciliation totals never saturate.
+    assert log.submitted() == 10.0
+
+
+def test_record_dict_round_trip():
+    rec = AuditRecord(time=2.0, op="write", reason=NO_QUORUM, volume=3.0,
+                      site=1, component_votes=2, component_size=2,
+                      read_quorum=3, write_quorum=3, assignment_version=2,
+                      batch_index=0)
+    assert AuditRecord.from_dict(rec.to_dict()) == rec
+
+
+def test_str_is_informative():
+    rec = AuditRecord(time=1.0, op="read", reason=SITE_DOWN, volume=1.0, site=2)
+    assert "site 2" in str(rec)
+    assert SITE_DOWN in str(rec)
