@@ -24,7 +24,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.ring import ring_density
 from repro.protocols.adaptive import AdaptiveQuorumProtocol
 from repro.protocols.majority import MajorityConsensusProtocol
@@ -87,7 +87,7 @@ def test_adaptive_loop(benchmark, report, scale):
         rows["_installs"] = installs
         return rows
 
-    rows = once(benchmark, run_all)
+    rows = timed(benchmark, run_all)
     installs = rows.pop("_installs")
 
     lines = [

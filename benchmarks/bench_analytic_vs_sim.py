@@ -14,7 +14,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.bus import bus_density
 from repro.analytic.complete import complete_density
 from repro.analytic.montecarlo import montecarlo_density
@@ -38,7 +38,7 @@ def test_ana_ring_vs_simulation(benchmark, report, scale):
         n_batches=2,
         seed=77,
     )
-    result = once(benchmark, lambda: run_simulation(cfg, MajorityConsensusProtocol(n)))
+    result = timed(benchmark, lambda: run_simulation(cfg, MajorityConsensusProtocol(n)))
     simulated = result.density_matrix("time").mean(axis=0)
     analytic = ring_density(n, P, R)
     gap = float(np.abs(simulated - analytic).max())
@@ -53,7 +53,7 @@ def test_ana_ring_vs_simulation(benchmark, report, scale):
 
 def test_ana_complete_vs_montecarlo(benchmark, report):
     n = 101
-    analytic = once(benchmark, lambda: complete_density(n, P, R))
+    analytic = timed(benchmark, lambda: complete_density(n, P, R))
     mc = montecarlo_density(fully_connected(n), 0, P, R, n_samples=3_000, seed=8)
     gap = float(np.abs(analytic - mc).max())
     report(
@@ -70,7 +70,7 @@ def test_ana_complete_vs_montecarlo(benchmark, report):
 
 def test_ana_bus_vs_montecarlo(benchmark, report):
     n = 25
-    analytic = once(benchmark, lambda: bus_density(n, P, R, sites_need_bus=False))
+    analytic = timed(benchmark, lambda: bus_density(n, P, R, sites_need_bus=False))
     topo = bus(n)  # hub carries the bus's reliability; spokes perfect
     site_rel = np.full(n + 1, P)
     site_rel[n] = R

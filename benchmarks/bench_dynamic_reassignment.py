@@ -19,7 +19,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.ring import ring_density
 from repro.protocols.estimator import OnlineDensityEstimator
 from repro.protocols.majority import MajorityConsensusProtocol
@@ -72,7 +72,7 @@ def test_dynamic_reassignment_value(benchmark, report, scale):
 
         return run_simulation(cfg, protocol, change_observer=observer), protocol
 
-    dynamic, protocol = once(benchmark, run_dynamic)
+    dynamic, protocol = timed(benchmark, run_dynamic)
 
     a_maj = static_majority.availability.mean
     a_opt = static_optimal.availability.mean

@@ -14,7 +14,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.ring import ring_density
 from repro.protocols.majority import MajorityConsensusProtocol
 from repro.quorum.availability import AvailabilityModel
@@ -58,7 +58,7 @@ def test_estimator_ablation(benchmark, report, scale):
                 rows.append((budget, alpha, online.read_quorum, oracle.read_quorum, regret))
         return rows
 
-    rows = once(benchmark, run_all)
+    rows = timed(benchmark, run_all)
 
     lines = ["=== ABL-EST: on-line estimate quality vs observation budget ===",
              "  accesses   alpha   q_r(online)   q_r(oracle)   true regret"]

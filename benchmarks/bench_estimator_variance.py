@@ -13,7 +13,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.protocols.majority import MajorityConsensusProtocol
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import simulate_batch
@@ -46,7 +46,7 @@ def test_estimator_variance(benchmark, report, scale):
     def run_both():
         return replicate("sampled"), replicate("expected")
 
-    sampled, expected = once(benchmark, run_both)
+    sampled, expected = timed(benchmark, run_both)
 
     report(
         "=== ABL-VAR: availability estimator variance at fixed budget ===\n"

@@ -15,7 +15,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.markov import (
     JointMarkovChain,
     dynamic_voting_key,
@@ -64,7 +64,7 @@ def test_exact_vs_simulation(benchmark, report):
         )
         return static, dynamic
 
-    static_chain, dynamic_chain = once(benchmark, build_chains)
+    static_chain, dynamic_chain = timed(benchmark, build_chains)
 
     exact_static = static_chain.availability(ALPHA)
     exact_dynamic = dynamic_chain.availability(ALPHA)

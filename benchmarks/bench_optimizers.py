@@ -16,7 +16,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.complete import complete_density
 from repro.analytic.ring import ring_density
 from repro.quorum.availability import AvailabilityModel
@@ -51,7 +51,7 @@ def test_optimizer_ablation(benchmark, report):
                 table[(name, method)] = (evals, loss, elapsed)
         return table
 
-    table = once(benchmark, sweep)
+    table = timed(benchmark, sweep)
 
     lines = ["=== ABL-OPT: optimizer agreement and cost ===",
              "  case              method       evals   max availability loss     time"]

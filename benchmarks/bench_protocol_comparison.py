@@ -20,7 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.analytic.ring import ring_density
 from repro.protocols.dynamic_voting import DynamicVotingProtocol
 from repro.protocols.majority import MajorityConsensusProtocol
@@ -66,7 +66,7 @@ def test_protocol_comparison(benchmark, report, scale):
             )
         return rows
 
-    rows = once(benchmark, run_all)
+    rows = timed(benchmark, run_all)
 
     lines = [
         f"=== PROTO-COMP: protocols on topology {CHORDS}, alpha = {ALPHA} ===",

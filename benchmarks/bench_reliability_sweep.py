@@ -13,7 +13,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.experiments.sweeps import find_majority_crossover, reliability_sweep
 
 RELIABILITIES = (0.70, 0.80, 0.90, 0.96, 0.99)
@@ -28,7 +28,7 @@ def test_reliability_sweep(benchmark, report):
         out["crossover"] = find_majority_crossover("complete", 101, 0.8)
         return out
 
-    data = once(benchmark, run)
+    data = timed(benchmark, run)
 
     lines = ["=== ABL-REL: reliability sensitivity (p = r) ===",
              "  family     n  alpha   rel    q_r*     A*     A(maj)   A(rowa)"]

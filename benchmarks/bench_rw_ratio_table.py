@@ -18,7 +18,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.experiments.figures import figure_data
 from repro.experiments.paper import PAPER_ALPHAS, PAPER_CHORD_COUNTS
 from repro.experiments.report import render_rw_table
@@ -34,7 +34,7 @@ def test_rw_ratio_table(benchmark, report, scale):
         fig = figure_data(chords=chords, scale=scale, seed=1000 + chords)
         models.append((fig.topology_name, fig.model))
 
-    rows = once(benchmark, lambda: read_write_ratio_table(models, PAPER_ALPHAS))
+    rows = timed(benchmark, lambda: read_write_ratio_table(models, PAPER_ALPHAS))
     report("=== section 5.5 read-write-ratio table ===\n" + render_rw_table(rows))
 
     majority_cells = [r for r in rows if r.optimum_is_majority]

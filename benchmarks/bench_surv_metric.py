@@ -16,7 +16,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.experiments.paper import ExperimentScale
 from repro.protocols.majority import MajorityConsensusProtocol
 from repro.quorum.optimizer import optimal_read_quorum
@@ -49,7 +49,7 @@ def test_surv_vs_acc_objectives(benchmark, report, scale):
             )
         return rows
 
-    rows = once(benchmark, run_all)
+    rows = timed(benchmark, run_all)
 
     lines = [
         "=== ABL-SURV: ACC vs SURV objectives (alpha = 0.5) ===",

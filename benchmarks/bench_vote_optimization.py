@@ -16,7 +16,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.quorum.vote_optimizer import _StateSample, availability_of_votes, optimize_votes
 
 N = 12
@@ -32,7 +32,7 @@ def test_vote_optimization(benchmark, report, scale):
     p = np.full(N, GOOD_P)
     p[::3] = BAD_P  # every third site is flaky
 
-    search = once(
+    search = timed(
         benchmark,
         lambda: optimize_votes(topo, alpha=ALPHA, p=p, r=R,
                                n_samples=2_000, seed=42),

@@ -17,7 +17,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from conftest import once
+from conftest import timed
 from repro.experiments.figures import figure_data
 from repro.experiments.report import render_write_constraint_table
 from repro.experiments.tables import write_constraint_table
@@ -32,7 +32,7 @@ def test_write_constraint_example(benchmark, report, scale):
     fig = figure_data(chords=2, scale=scale, seed=54)
     model = fig.model
 
-    constrained = once(benchmark, lambda: optimize_with_write_floor(model, ALPHA, FLOOR))
+    constrained = timed(benchmark, lambda: optimize_with_write_floor(model, ALPHA, FLOOR))
     rows = write_constraint_table(model, ALPHA, write_floors=(0.0, 0.05, 0.1, 0.2, 0.3))
     report(
         "=== section 5.4 write-constraint example (topology 2) ===\n"

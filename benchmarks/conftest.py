@@ -3,8 +3,9 @@
 Every benchmark regenerates one of the paper's tables or figures and
 prints the same rows/series the paper reports (run with ``-s`` to see
 them; they are also appended to ``benchmarks/results.txt``). Timings are
-collected by pytest-benchmark with a single round — these are
-simulation-scale workloads, not microbenchmarks.
+collected by pytest-benchmark with one warm-up round plus ``BENCH_ROUNDS``
+(default 5) timed rounds, so the mean/stddev/quantile fields in the
+``BENCH_*.json`` sidecars carry real content for regression gating.
 
 Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
 
@@ -77,9 +78,21 @@ def report():
     handle.close()
 
 
-def once(benchmark, fn):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+#: Timed rounds per benchmark (after one untimed warm-up). Overridable
+#: for quick local iterations with REPRO_BENCH_ROUNDS=1.
+BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "5")))
+
+
+def timed(benchmark, fn):
+    """Run ``fn`` under pytest-benchmark: 1 warm-up + ``BENCH_ROUNDS`` rounds.
+
+    A single-shot measurement records ``stddev: 0`` and makes the
+    committed ``BENCH_*.json`` baselines meaningless for regression
+    gating; five rounds give the mean/stddev/quantile fields real
+    content while keeping simulation-scale workloads tractable.
+    """
+    return benchmark.pedantic(fn, rounds=BENCH_ROUNDS, iterations=1,
+                              warmup_rounds=1)
 
 
 # ----------------------------------------------------------------------

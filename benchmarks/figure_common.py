@@ -26,9 +26,9 @@ from repro.experiments.report import render_figure
 
 
 def run_figure(benchmark, report, scale, chords: int, figure_name: str) -> FigureData:
-    from conftest import once
+    from conftest import timed
 
-    fig = once(benchmark, lambda: figure_data(chords=chords, scale=scale, seed=chords))
+    fig = timed(benchmark, lambda: figure_data(chords=chords, scale=scale, seed=chords))
     report(f"=== {figure_name} ===\n" + render_figure(fig))
     assert_common_shape(fig)
     return fig

@@ -5,6 +5,17 @@ forms do not apply, ``f_i`` can be estimated by sampling independent
 network states from the stationary distribution (every site up w.p. ``p``,
 every link up w.p. ``r``) and recording each site's component vote total.
 
+The estimator is fully batched (DESIGN.md §8): samples are drawn in
+blocks of ``batch_size`` states, and each block is labelled with a
+*single* block-diagonal :func:`scipy.sparse.csgraph.connected_components`
+call via :func:`~repro.connectivity.components.batched_component_labels`
+— one compiled invocation labels every partition of every state in the
+block, replacing the historical per-state Python loop. Blocks draw their
+random masks from independent substreams spawned off the caller's seed,
+so the estimate depends only on ``(seed, n_samples, batch_size)`` — in
+particular it is *identical* for any ``n_workers``, which merely shards
+the blocks across a process pool.
+
 This is the *off-line* counterpart of the on-line estimator in
 :mod:`repro.protocols.estimator`: the on-line estimator sees states
 weighted by the failure-process dynamics at access instants, which for
@@ -14,14 +25,18 @@ a property the test suite checks.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analytic.density import normalize_density
-from repro.connectivity.components import component_labels, component_vote_totals
+from repro.connectivity.components import (
+    batched_vote_totals,
+    component_labels,
+    component_vote_totals,
+)
 from repro.errors import DensityError, SimulationError, TopologyError
-from repro.rng import RandomState, as_generator
+from repro.rng import RandomState, as_generator, spawn
 from repro.topology.model import Topology
 
 __all__ = ["montecarlo_density_matrix", "montecarlo_density"]
@@ -40,6 +55,60 @@ def _reliability_vector(value: Reliability, count: int, label: str) -> np.ndarra
     return arr
 
 
+def _chunk_counts(
+    topology: Topology,
+    site_rel: np.ndarray,
+    link_rel: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``count`` states and bin their vote totals (one labelling call)."""
+    site_masks = rng.random((count, topology.n_sites)) < site_rel
+    link_masks = rng.random((count, topology.n_links)) < link_rel
+    totals = batched_vote_totals(topology, site_masks, link_masks)
+    n, T = topology.n_sites, topology.total_votes
+    flat = np.tile(np.arange(n) * (T + 1), count) + totals.ravel()
+    counts = np.bincount(flat, minlength=n * (T + 1)).astype(np.float64)
+    return counts.reshape(n, T + 1)
+
+
+def _chunk_counts_task(args) -> np.ndarray:
+    """Module-level process-pool entry point (must be picklable)."""
+    return _chunk_counts(*args)
+
+
+def _perstate_counts(
+    topology: Topology,
+    site_rel: np.ndarray,
+    link_rel: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Reference per-state loop (the pre-batching implementation).
+
+    Kept as the oracle the batched path is tested against and as the
+    baseline ``bench_parallel_scaling`` measures the labelling speedup
+    from. Draws masks exactly like :func:`_chunk_counts`, so given the
+    same generator state the two produce identical counts.
+    """
+    site_masks = rng.random((count, topology.n_sites)) < site_rel
+    link_masks = rng.random((count, topology.n_links)) < link_rel
+    T = topology.total_votes
+    counts = np.zeros((topology.n_sites, T + 1), dtype=np.float64)
+    site_ids = np.arange(topology.n_sites)
+    for k in range(count):
+        labels = component_labels(topology, site_masks[k], link_masks[k])
+        totals = component_vote_totals(labels, topology.votes)
+        counts[site_ids, totals] += 1.0
+    return counts
+
+
+def _sample_plan(n_samples: int, batch_size: int) -> List[int]:
+    """Fixed decomposition of ``n_samples`` into labelling blocks."""
+    full, rem = divmod(n_samples, batch_size)
+    return [batch_size] * full + ([rem] if rem else [])
+
+
 def montecarlo_density_matrix(
     topology: Topology,
     p: Reliability,
@@ -47,37 +116,46 @@ def montecarlo_density_matrix(
     n_samples: int = 10_000,
     seed: RandomState = None,
     batch_size: int = 256,
+    n_workers: int = 1,
 ) -> np.ndarray:
     """Estimate the density matrix ``(n_sites, T+1)`` from random states.
 
-    States are sampled in vectorized batches (the random masks for a whole
-    batch are drawn with one generator call); component labelling remains
-    per-state since partitions differ between states.
+    States are sampled in blocks of ``batch_size``; each block's random
+    masks come from an independent substream spawned off ``seed``, and
+    the whole block is labelled by one block-diagonal
+    ``connected_components`` call. With ``n_workers > 1`` the blocks are
+    sharded across a process pool; because the substream assignment
+    depends only on the block index, the returned matrix is bitwise
+    identical for every ``n_workers`` value.
     """
     if n_samples <= 0:
         raise SimulationError(f"n_samples must be positive, got {n_samples}")
     if batch_size <= 0:
         raise SimulationError(f"batch_size must be positive, got {batch_size}")
+    if n_workers <= 0:
+        raise SimulationError(f"n_workers must be positive, got {n_workers}")
 
     site_rel = _reliability_vector(p, topology.n_sites, "site reliability")
     link_rel = _reliability_vector(r, topology.n_links, "link reliability")
-    rng = as_generator(seed)
 
-    T = topology.total_votes
-    counts = np.zeros((topology.n_sites, T + 1), dtype=np.float64)
-    site_ids = np.arange(topology.n_sites)
+    plan = _sample_plan(n_samples, batch_size)
+    streams = spawn(seed if seed is not None else as_generator(None), len(plan))
+    tasks = [
+        (topology, site_rel, link_rel, count, stream)
+        for count, stream in zip(plan, streams)
+    ]
 
-    remaining = n_samples
-    while remaining > 0:
-        batch = min(batch_size, remaining)
-        site_masks = rng.random((batch, topology.n_sites)) < site_rel
-        link_masks = rng.random((batch, topology.n_links)) < link_rel
-        for k in range(batch):
-            labels = component_labels(topology, site_masks[k], link_masks[k])
-            totals = component_vote_totals(labels, topology.votes)
-            counts[site_ids, totals] += 1.0
-        remaining -= batch
+    if n_workers == 1 or len(tasks) == 1:
+        chunk_results = [_chunk_counts_task(task) for task in tasks]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
 
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+            chunk_results = list(pool.map(_chunk_counts_task, tasks))
+
+    counts = chunk_results[0]
+    for chunk in chunk_results[1:]:
+        counts += chunk
     return counts / n_samples
 
 
@@ -88,9 +166,12 @@ def montecarlo_density(
     r: Reliability,
     n_samples: int = 10_000,
     seed: RandomState = None,
+    n_workers: int = 1,
 ) -> np.ndarray:
     """Estimate ``f_site(v)`` for one site; returns a normalized density."""
     if not 0 <= site < topology.n_sites:
         raise TopologyError(f"unknown site {site}")
-    matrix = montecarlo_density_matrix(topology, p, r, n_samples=n_samples, seed=seed)
+    matrix = montecarlo_density_matrix(
+        topology, p, r, n_samples=n_samples, seed=seed, n_workers=n_workers
+    )
     return normalize_density(matrix[site])

@@ -165,6 +165,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             protocol,
             target_half_width=args.target_half_width,
             fail_fast=not args.keep_going,
+            n_workers=args.workers,
         )
     else:
         # Scope the recorder so un-plumbed layers (the optimizer) see it.
@@ -175,6 +176,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 target_half_width=args.target_half_width,
                 fail_fast=not args.keep_going,
                 telemetry=telemetry,
+                n_workers=args.workers,
             )
     print(result.summary())
     if result.telemetry is not None:
@@ -367,6 +369,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_batches=args.batches,
             monitor=monitor,
             fail_fast=args.fail_fast,
+            n_workers=args.workers,
         )
     else:
         from repro.telemetry.recorder import use as _use_telemetry
@@ -379,6 +382,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 monitor=monitor,
                 fail_fast=args.fail_fast,
                 telemetry=telemetry,
+                n_workers=args.workers,
             )
     print(report.summary())
     if report.telemetry is not None:
@@ -450,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--target-half-width", type=float, default=None,
                      help="add batches until the 95%% CI half-width reaches this")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="fan batches out over N worker processes; "
+                     "aggregates are bitwise identical for any N")
     group = sim.add_mutually_exclusive_group()
     group.add_argument("--fail-fast", dest="keep_going", action="store_false",
                        help="abort the whole run on the first batch error (default)")
@@ -536,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batches to run (default: the scale's n_batches)")
     chaos.add_argument("--scale", choices=_SCALES, default="test")
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fan batches out over N worker processes; the "
+                       "report is deterministic for any N")
     chaos.add_argument("--max-violations", type=int, default=1000,
                        help="cap on recorded violation records")
     chaos.add_argument("--show-violations", type=int, default=5,

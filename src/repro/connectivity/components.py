@@ -34,6 +34,9 @@ from repro.topology.model import Topology
 
 __all__ = [
     "component_labels",
+    "batched_component_labels",
+    "batched_component_vote_totals",
+    "batched_vote_totals",
     "components_unionfind",
     "component_vote_totals",
     "votes_in_component_of",
@@ -56,10 +59,14 @@ def _validate_masks(topology: Topology, site_up: np.ndarray, link_up: np.ndarray
 
 
 #: Link count above which the scipy.csgraph backend beats union-find.
-#: Measured crossover on 101-site paper topologies: union-find wins up to
-#: a few hundred links (scipy's per-call sparse-construction overhead
-#: dominates there); csgraph wins on the fully-connected 5050-link case.
-CSGRAPH_THRESHOLD = 1_000
+#: Re-measured after the incremental ComponentTracker landed (it absorbs
+#: most small-topology per-event calls, leaving this dispatch dominated
+#: by cold full recomputes): on 101-site paper topologies at p=0.9,
+#: union-find wins through 1125 links (211µs vs 490µs per call — scipy's
+#: sparse-construction overhead dominates), csgraph wins from 2149 links
+#: (381µs vs 479µs) through the fully-connected 5050-link case (482µs vs
+#: 967µs). The crossover sits near 1600 links.
+CSGRAPH_THRESHOLD = 1_600
 
 
 def component_labels(
@@ -155,6 +162,144 @@ def _labels_unionfind(
             next_label += 1
         labels[site] = label
     return labels
+
+
+def batched_component_labels(
+    topology: Topology,
+    site_masks: np.ndarray,
+    link_masks: np.ndarray,
+) -> np.ndarray:
+    """Label B sampled network states with ONE compiled csgraph call.
+
+    Builds a block-diagonal sparse graph over ``B * n_sites`` nodes —
+    state ``k``'s copy of site ``s`` is node ``k * n_sites + s``, and
+    usable links only ever join nodes inside one block — so a single
+    :func:`scipy.sparse.csgraph.connected_components` invocation labels
+    every partition of every state at once. This is the Monte-Carlo
+    density estimator's hot path: it replaces a Python loop of B sparse
+    constructions with one.
+
+    Parameters
+    ----------
+    site_masks, link_masks:
+        Boolean arrays of shape ``(B, n_sites)`` / ``(B, n_links)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 labels of shape ``(B, n_sites)``. Up sites carry component
+        ids that are unique across the WHOLE batch (``0..K-1`` over all
+        states, *not* compacted per state); down sites get
+        :data:`DOWN_LABEL`. Feed directly into
+        :func:`batched_component_vote_totals`.
+    """
+    site_masks = np.asarray(site_masks, dtype=bool)
+    link_masks = np.asarray(link_masks, dtype=bool)
+    if site_masks.ndim != 2 or site_masks.shape[1] != topology.n_sites:
+        raise TopologyError(
+            f"site_masks must have shape (B, {topology.n_sites}), got {site_masks.shape}"
+        )
+    if link_masks.shape != (site_masks.shape[0], topology.n_links):
+        raise TopologyError(
+            f"link_masks must have shape ({site_masks.shape[0]}, {topology.n_links}), "
+            f"got {link_masks.shape}"
+        )
+    _, raw = _batched_raw_labels(topology, site_masks, link_masks)
+    B, n = site_masks.shape
+    labels = np.full(B * n, DOWN_LABEL, dtype=np.int64)
+    up_idx = np.nonzero(site_masks.ravel())[0]
+    _, compact = np.unique(raw[up_idx], return_inverse=True)
+    labels[up_idx] = compact
+    return labels.reshape(B, n)
+
+
+def _batched_raw_labels(
+    topology: Topology,
+    site_masks: np.ndarray,
+    link_masks: np.ndarray,
+) -> tuple:
+    """One block-diagonal csgraph call over B states; raw (uncompacted) labels.
+
+    Returns ``(n_components, raw)`` where ``raw`` has shape ``(B * n,)``
+    and down sites carry their own singleton component ids (no -1
+    marking) — callers mask with ``site_masks`` themselves.
+    """
+    B, n = site_masks.shape
+    u, v = topology.link_endpoint_arrays()
+    usable = link_masks & site_masks[:, u] & site_masks[:, v]
+    state_idx, link_idx = np.nonzero(usable)
+    offsets = state_idx * n
+    uu = u[link_idx] + offsets
+    vv = v[link_idx] + offsets
+    ones = np.ones(uu.shape[0], dtype=np.int8)
+    graph = coo_matrix((ones, (uu, vv)), shape=(B * n, B * n))
+    return connected_components(graph, directed=False)
+
+
+def batched_vote_totals(
+    topology: Topology,
+    site_masks: np.ndarray,
+    link_masks: np.ndarray,
+    votes: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused masks → per-site component vote totals for B states.
+
+    Equivalent to :func:`batched_component_labels` followed by
+    :func:`batched_component_vote_totals`, but skips the per-state label
+    compaction entirely — the Monte-Carlo density estimator only needs
+    totals, and compaction is the most expensive non-compiled step.
+    """
+    site_masks = np.asarray(site_masks, dtype=bool)
+    link_masks = np.asarray(link_masks, dtype=bool)
+    if site_masks.ndim != 2 or site_masks.shape[1] != topology.n_sites:
+        raise TopologyError(
+            f"site_masks must have shape (B, {topology.n_sites}), got {site_masks.shape}"
+        )
+    if link_masks.shape != (site_masks.shape[0], topology.n_links):
+        raise TopologyError(
+            f"link_masks must have shape ({site_masks.shape[0]}, {topology.n_links}), "
+            f"got {link_masks.shape}"
+        )
+    votes_arr = topology.votes if votes is None else np.asarray(votes, dtype=np.int64)
+    n_comp, raw = _batched_raw_labels(topology, site_masks, link_masks)
+    B, n = site_masks.shape
+    up = site_masks.ravel()
+    sums = np.bincount(
+        raw[up], weights=np.tile(votes_arr, B)[up].astype(np.float64),
+        minlength=n_comp,
+    )
+    totals = np.where(up, sums[raw], 0.0).astype(np.int64)
+    return totals.reshape(B, n)
+
+
+def batched_component_vote_totals(
+    labels: np.ndarray,
+    votes: np.ndarray,
+) -> np.ndarray:
+    """Per-site component vote totals for a batch of labelled states.
+
+    ``labels`` is the ``(B, n_sites)`` output of
+    :func:`batched_component_labels` (batch-global component ids); the
+    result has the same shape, with down sites at 0 votes. One
+    ``bincount`` covers every component of every state.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    votes = np.asarray(votes, dtype=np.int64)
+    if labels.ndim != 2 or labels.shape[1] != votes.shape[0]:
+        raise TopologyError(
+            f"labels shape {labels.shape} incompatible with votes shape {votes.shape}"
+        )
+    B, n = labels.shape
+    flat = labels.ravel()
+    up = flat >= 0
+    out = np.zeros(B * n, dtype=np.int64)
+    if up.any():
+        k = int(flat.max()) + 1
+        sums = np.bincount(
+            flat[up], weights=np.tile(votes, B)[up].astype(np.float64), minlength=k
+        )
+        out[up] = sums[flat[up]].astype(np.int64)
+    return out.reshape(B, n)
 
 
 class _UnionFind:

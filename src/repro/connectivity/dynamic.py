@@ -1,33 +1,78 @@
-"""Mutable network state + lazy component tracking for the simulator.
+"""Mutable network state + incremental component tracking for the simulator.
 
 The discrete-event simulator flips one site or link per failure/recovery
 event and then needs, possibly many times before the next flip, the vector
 of per-site component vote totals. :class:`ComponentTracker` caches that
-vector and invalidates it on mutation, so the (vectorized, but still
-O(sites + links)) component recomputation runs exactly once per network
-change regardless of how many accesses land in the interval.
+vector and invalidates it on mutation, so component maintenance runs
+exactly once per network change regardless of how many accesses land in
+the interval.
+
+Maintenance is *incremental* (DESIGN.md §8): :class:`NetworkState` keeps a
+short journal of recent single-component flips, and the tracker consumes
+it instead of relabelling the whole graph:
+
+- a **recovery** event (site or link comes up) can only *merge*
+  components — the tracker unions the affected components with a
+  vectorized label rewrite, never touching the edge list;
+- a **failure** event can only *split* the component containing the
+  failed element — the tracker relabels just that component's induced
+  subgraph (a union-find over its usable links), leaving every other
+  component's labels and totals untouched;
+- anything else — bulk mutations, a stale journal, a tracker attached
+  mid-run — falls back to the full
+  :func:`~repro.connectivity.components.component_labels` recompute,
+  which doubles as the correctness oracle (``audit_interval`` cross-checks
+  the incremental state against it periodically).
+
+Labels stay on the documented contract (consecutive ids ``0..k-1`` over
+up sites, ``-1`` for down sites): every incremental step ends with an
+O(n) vectorized compaction, which is cheap next to the O(n + m)
+edge scan it replaces.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.connectivity.components import (
+    DOWN_LABEL,
     component_labels,
     component_vote_totals,
 )
 from repro.errors import TopologyError
 from repro.topology.model import Topology
 
-__all__ = ["NetworkState", "ComponentTracker"]
+__all__ = ["NetworkState", "ComponentTracker", "NetworkChange"]
+
+#: Journal capacity: how many consecutive single-element flips a tracker
+#: may lag behind the state before it must fall back to a full relabel.
+#: The engine refreshes after every event, so in practice the journal
+#: never holds more than a handful of entries.
+JOURNAL_LIMIT = 64
+
+#: Pending-change count above which one full relabel beats replaying the
+#: journal (each replayed failure may touch a whole component; scripted
+#: partitions flip dozens of links at a single instant).
+INCREMENTAL_LIMIT = 4
+
+
+class NetworkChange(NamedTuple):
+    """One journalled mutation: the state version it produced and the flip."""
+
+    version: int
+    kind: str  # "site" | "link"
+    index: int
+    up: bool
+    was_up: bool
 
 
 class NetworkState:
     """Boolean up/down state for every site and link of a topology."""
 
-    __slots__ = ("topology", "site_up", "link_up", "_version")
+    __slots__ = ("topology", "site_up", "link_up", "_version", "_journal")
 
     def __init__(
         self,
@@ -54,24 +99,47 @@ class NetworkState:
                 )
         #: Monotone counter bumped on every mutation; lets caches detect staleness.
         self._version = 0
+        #: Recent mutations, one entry per version bump (bounded).
+        self._journal: Deque[NetworkChange] = deque(maxlen=JOURNAL_LIMIT)
 
     @property
     def version(self) -> int:
         return self._version
 
+    def changes_since(self, version: int) -> Optional[List[NetworkChange]]:
+        """The journalled mutations after ``version``, oldest first.
+
+        Returns ``None`` when the journal no longer covers the gap (too
+        many intervening mutations) — the caller must recompute from
+        scratch.
+        """
+        gap = self._version - version
+        if gap < 0:
+            return None
+        if gap == 0:
+            return []
+        entries = [e for e in self._journal if e.version > version]
+        if len(entries) != gap:
+            return None
+        return entries
+
     def set_site(self, site: int, up: bool) -> None:
         """Set a site's state; no-op mutations still count as changes."""
         if not 0 <= site < self.topology.n_sites:
             raise TopologyError(f"unknown site {site}")
+        was = bool(self.site_up[site])
         self.site_up[site] = up
         self._version += 1
+        self._journal.append(NetworkChange(self._version, "site", site, bool(up), was))
 
     def set_link(self, link_id: int, up: bool) -> None:
         """Set a link's state by link id."""
         if not 0 <= link_id < self.topology.n_links:
             raise TopologyError(f"unknown link id {link_id}")
+        was = bool(self.link_up[link_id])
         self.link_up[link_id] = up
         self._version += 1
+        self._journal.append(NetworkChange(self._version, "link", link_id, bool(up), was))
 
     def fail_site(self, site: int) -> None:
         self.set_site(site, False)
@@ -97,21 +165,34 @@ class NetworkState:
 
 
 class ComponentTracker:
-    """Caches component labels and vote totals for a :class:`NetworkState`.
+    """Maintains component labels and vote totals for a :class:`NetworkState`.
 
-    All getters recompute lazily when the underlying state's version has
-    moved; between network changes they are O(1).
+    All getters refresh lazily when the underlying state's version has
+    moved; between network changes they are O(1). The refresh consumes
+    the state's mutation journal incrementally (merge on recovery,
+    induced-subgraph relabel on failure) and falls back to the full
+    recompute when the journal cannot bridge the gap.
 
     ``votes`` overrides the topology's vote vector — several trackers
     with different vote vectors (one per replicated item) can share one
     network state, which is how the multi-item database gives each item
     its own quorum space over a single failure process.
+
+    ``audit_interval`` (0 = off) cross-checks the incrementally
+    maintained state against the full relabel every N incremental
+    refreshes, raising :class:`~repro.errors.TopologyError` on any
+    divergence — the correctness oracle for tests and paranoid runs.
     """
 
-    __slots__ = ("state", "votes", "_cached_version", "_labels", "_vote_totals")
+    __slots__ = (
+        "state", "votes", "_cached_version", "_labels", "_vote_totals",
+        "_incident", "_next_label", "audit_interval",
+        "n_incremental", "n_full", "_audit_countdown",
+    )
 
     def __init__(self, state: NetworkState,
-                 votes: Optional[np.ndarray] = None) -> None:
+                 votes: Optional[np.ndarray] = None,
+                 audit_interval: int = 0) -> None:
         self.state = state
         if votes is None:
             self.votes = state.topology.votes
@@ -126,15 +207,237 @@ class ComponentTracker:
         self._cached_version = -1
         self._labels: Optional[np.ndarray] = None
         self._vote_totals: Optional[np.ndarray] = None
+        #: Per-site incident links as ``[(link_id, other_endpoint), ...]``.
+        self._incident: Optional[List[List[Tuple[int, int]]]] = None
+        self._next_label = 0
+        self.audit_interval = int(audit_interval)
+        self._audit_countdown = self.audit_interval
+        #: Maintenance statistics (observability + benchmarks).
+        self.n_incremental = 0
+        self.n_full = 0
 
+    # ------------------------------------------------------------------
+    # Refresh machinery
+    # ------------------------------------------------------------------
     def _refresh(self) -> None:
-        if self._cached_version == self.state.version:
+        state = self.state
+        if self._cached_version == state.version:
             return
+        changes = (
+            state.changes_since(self._cached_version)
+            if self._labels is not None
+            else None
+        )
+        if changes is None or len(changes) > INCREMENTAL_LIMIT:
+            self._full_recompute()
+        else:
+            # Copy-on-write: callers may hold references to the previously
+            # returned arrays, so never mutate them in place.
+            self._labels = self._labels.copy()
+            self._vote_totals = self._vote_totals.copy()
+            for change in changes:
+                self._apply_change(change)
+            self._compact_labels()
+            self.n_incremental += 1
+            if self.audit_interval > 0:
+                self._audit_countdown -= 1
+                if self._audit_countdown <= 0:
+                    self._audit_countdown = self.audit_interval
+                    self._audit()
+        self._cached_version = state.version
+
+    def _full_recompute(self) -> None:
         topo = self.state.topology
         self._labels = component_labels(topo, self.state.site_up, self.state.link_up)
         self._vote_totals = component_vote_totals(self._labels, self.votes)
-        self._cached_version = self.state.version
+        up = self._labels >= 0
+        self._next_label = int(self._labels.max()) + 1 if up.any() else 0
+        self.n_full += 1
 
+    def _audit(self) -> None:
+        """Assert the incremental state matches the full relabel (oracle)."""
+        topo = self.state.topology
+        oracle_labels = component_labels(topo, self.state.site_up, self.state.link_up)
+        oracle_totals = component_vote_totals(oracle_labels, self.votes)
+        assert self._labels is not None and self._vote_totals is not None
+        same_down = np.array_equal(self._labels < 0, oracle_labels < 0)
+        # Partitions agree iff the label pairing is a bijection.
+        up = oracle_labels >= 0
+        pairs = np.unique(
+            np.stack([self._labels[up], oracle_labels[up]]), axis=1
+        ).shape[1] if up.any() else 0
+        ours = np.unique(self._labels[up]).size if up.any() else 0
+        theirs = np.unique(oracle_labels[up]).size if up.any() else 0
+        if (
+            not same_down
+            or pairs != ours
+            or pairs != theirs
+            or not np.array_equal(self._vote_totals, oracle_totals)
+        ):
+            raise TopologyError(
+                "incremental component state diverged from the full relabel "
+                f"(version {self.state.version}): labels {self._labels.tolist()} "
+                f"vs oracle {oracle_labels.tolist()}, totals "
+                f"{self._vote_totals.tolist()} vs {oracle_totals.tolist()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def _incident_links(self) -> List[List[Tuple[int, int]]]:
+        if self._incident is None:
+            topo = self.state.topology
+            incident: List[List[Tuple[int, int]]] = [[] for _ in range(topo.n_sites)]
+            for lid, link in enumerate(topo.links):
+                incident[link.a].append((lid, link.b))
+                incident[link.b].append((lid, link.a))
+            self._incident = incident
+        return self._incident
+
+    def _apply_change(self, change: NetworkChange) -> None:
+        if change.up == change.was_up:
+            return  # no-op flip: version moved, structure did not
+        if change.kind == "site":
+            if change.up:
+                self._attach_site(change.index)
+            else:
+                self._detach_site(change.index)
+        else:
+            self._flip_link(change.index, change.up)
+
+    def _fresh_label(self) -> int:
+        label = self._next_label
+        self._next_label += 1
+        return label
+
+    def _merge(self, a: int, b: int) -> None:
+        """Union the components of up sites ``a`` and ``b`` (weighted)."""
+        labels = self._labels
+        totals = self._vote_totals
+        la, lb = int(labels[a]), int(labels[b])
+        if la < 0 or lb < 0:
+            # A detached endpoint must never reach here: ``labels == -1``
+            # matches *every* down site, so the mask rewrite below would
+            # resurrect all of them into one corrupt component. Callers
+            # gate on the tracker's own labels to make this unreachable.
+            raise TopologyError(
+                f"cannot merge detached site (labels {la}, {lb} for sites {a}, {b})"
+            )
+        if la == lb:
+            return
+        mask_a = labels == la
+        mask_b = labels == lb
+        # Rewrite the smaller side's labels (weighted union).
+        if int(mask_a.sum()) < int(mask_b.sum()):
+            la, mask_a, mask_b = lb, mask_b, mask_a
+        combined_votes = int(totals[a]) + int(totals[b])
+        labels[mask_b] = la
+        totals[mask_a] = combined_votes
+        totals[mask_b] = combined_votes
+
+    def _attach_site(self, site: int) -> None:
+        """A site came up: start it as a singleton, then merge over links.
+
+        The neighbour gate is the *tracker's* label, not ``state.site_up``:
+        the journal replays against the final mask arrays, so a neighbour
+        flipped up by a still-pending entry is already ``True`` in
+        ``site_up`` while its tracker label is still ``-1`` — merging with
+        it would go through the detached label and resurrect every down
+        site (the pending entry's own ``_attach_site`` performs the merge
+        instead, once both sides are attached).
+        """
+        labels = self._labels
+        labels[site] = self._fresh_label()
+        self._vote_totals[site] = self.votes[site]
+        link_up = self.state.link_up
+        for lid, other in self._incident_links()[site]:
+            if link_up[lid] and labels[other] >= 0:
+                self._merge(site, other)
+
+    def _detach_site(self, site: int) -> None:
+        """A site went down: drop it and resplit its old component."""
+        labels = self._labels
+        old = int(labels[site])
+        labels[site] = DOWN_LABEL
+        self._vote_totals[site] = 0
+        members = np.nonzero(labels == old)[0]
+        if members.size:
+            self._relabel_members(members)
+
+    def _flip_link(self, link_id: int, up: bool) -> None:
+        link = self.state.topology.links[link_id]
+        labels = self._labels
+        # Endpoint liveness comes from the tracker's labels, not
+        # ``state.site_up`` (see ``_attach_site``): a pending site flip is
+        # already visible in the state mask but not yet applied here.
+        if labels[link.a] < 0 or labels[link.b] < 0:
+            return  # a detached endpoint: the link carries no connectivity
+        if up:
+            self._merge(link.a, link.b)
+        elif labels[link.a] == labels[link.b]:
+            members = np.nonzero(labels == labels[link.a])[0]
+            self._relabel_members(members)
+
+    def _relabel_members(self, members: np.ndarray) -> None:
+        """Relabel one component's induced subgraph after a failure.
+
+        Runs a weighted union-find over the usable links *among
+        ``members`` only* — the rest of the network is untouched, which
+        is the whole point of the incremental path.
+        """
+        labels = self._labels
+        totals = self._vote_totals
+        n = labels.shape[0]
+        in_c = np.zeros(n, dtype=bool)
+        in_c[members] = True
+        u, v = self.state.topology.link_endpoint_arrays()
+        usable = self.state.link_up & in_c[u] & in_c[v]
+        idx = np.nonzero(usable)[0]
+
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in zip(u[idx].tolist(), v[idx].tolist()):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        root_label: dict = {}
+        member_list = members.tolist()
+        new_labels = np.empty(members.shape[0], dtype=np.int64)
+        for k, site in enumerate(member_list):
+            root = find(site)
+            label = root_label.get(root)
+            if label is None:
+                label = root_label[root] = self._fresh_label()
+            new_labels[k] = label
+        labels[members] = new_labels
+        # Per-subcomponent vote totals.
+        votes = self.votes[members]
+        uniq, inv = np.unique(new_labels, return_inverse=True)
+        sums = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(sums, inv, votes)
+        totals[members] = sums[inv]
+
+    def _compact_labels(self) -> None:
+        """Renumber labels onto ``0..k-1`` (the documented contract)."""
+        labels = self._labels
+        up = labels >= 0
+        if not up.any():
+            self._next_label = 0
+            return
+        uniq, inv = np.unique(labels[up], return_inverse=True)
+        labels[up] = inv
+        self._next_label = uniq.shape[0]
+
+    # ------------------------------------------------------------------
+    # Getters
+    # ------------------------------------------------------------------
     @property
     def labels(self) -> np.ndarray:
         """Component label per site (``-1`` for down sites)."""

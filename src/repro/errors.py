@@ -75,6 +75,42 @@ class ContextualError(ReproError):
             "snapshot": self.snapshot,
         }
 
+    def _pickle_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments that reconstruct this error via ``__init__``.
+
+        Subclasses adding required keyword-only parameters must extend
+        this, or the error cannot cross a process boundary: the default
+        ``BaseException.__reduce__`` replays only positional ``args``,
+        which loses keyword-only fields and raises ``TypeError`` on
+        unpickle for any that are required.
+        """
+        return {
+            "sim_time": self.sim_time,
+            "seed": self.seed,
+            "snapshot": self.snapshot or None,
+        }
+
+    def __reduce__(self):
+        # The cause is pickled too (the default exception reduce drops
+        # it): quarantine reporting reads ``__cause__`` for the original
+        # error type and message.
+        return (
+            _rebuild_contextual,
+            (type(self), self.message, self._pickle_kwargs(), self.__cause__),
+        )
+
+
+def _rebuild_contextual(
+    cls: type,
+    message: str,
+    kwargs: Dict[str, Any],
+    cause: Optional[BaseException],
+) -> "ContextualError":
+    """Unpickle helper for :class:`ContextualError` (see ``__reduce__``)."""
+    exc = cls(message, **kwargs)
+    exc.__cause__ = cause
+    return exc
+
 
 class TopologyError(ReproError):
     """Raised for malformed network topologies (bad sites, links, votes)."""
@@ -154,6 +190,11 @@ class InvariantViolation(ContextualError):
         ctx["rule"] = self.rule
         return ctx
 
+    def _pickle_kwargs(self) -> Dict[str, Any]:
+        kwargs = super()._pickle_kwargs()
+        kwargs["rule"] = self.rule
+        return kwargs
+
 
 class BatchExecutionError(ContextualError, SimulationError):
     """One simulated batch died mid-flight.
@@ -183,3 +224,9 @@ class BatchExecutionError(ContextualError, SimulationError):
         ctx["batch_index"] = self.batch_index
         ctx["trace_events"] = None if self.trace is None else len(self.trace)
         return ctx
+
+    def _pickle_kwargs(self) -> Dict[str, Any]:
+        kwargs = super()._pickle_kwargs()
+        kwargs["batch_index"] = self.batch_index
+        kwargs["trace"] = self.trace
+        return kwargs

@@ -135,6 +135,7 @@ def run_chaos_campaign(
     fail_fast: bool = False,
     change_observer: Optional[ChangeObserver] = None,
     telemetry=None,
+    n_workers: int = 1,
 ) -> ChaosReport:
     """Run ``n_batches`` chaos batches with invariant monitoring.
 
@@ -147,15 +148,31 @@ def run_chaos_campaign(
     ``telemetry`` (a :class:`~repro.telemetry.recorder.Telemetry`) is
     threaded through the engine and the monitor; when active, the report
     carries a :class:`~repro.telemetry.snapshot.TelemetrySnapshot`.
+
+    ``n_workers > 1`` fans batches out over a process pool (DESIGN.md
+    §8): each batch runs with a fresh in-worker monitor configured like
+    the campaign's, and violations/checks/telemetry merge back in batch
+    index order, so the report is deterministic regardless of pool
+    scheduling. ``change_observer`` callbacks require ``n_workers=1``.
     """
     if n_batches is None:
         n_batches = config.n_batches
     if n_batches <= 0:
         raise FaultInjectionError(f"n_batches must be positive, got {n_batches}")
+    if n_workers <= 0:
+        raise FaultInjectionError(f"n_workers must be positive, got {n_workers}")
     telemetry = _resolve_telemetry(telemetry)
     if monitor is None:
         monitor = InvariantMonitor(telemetry=telemetry)
-    schedule = config.fault_schedule
+    if n_workers > 1:
+        if change_observer is not None:
+            raise FaultInjectionError(
+                "change_observer callbacks cannot cross the process boundary; "
+                "use n_workers=1"
+            )
+        return _run_chaos_parallel(
+            config, protocol, n_batches, monitor, fail_fast, telemetry, n_workers,
+        )
     engine = SimulationEngine(
         config,
         protocol,
@@ -164,11 +181,7 @@ def run_chaos_campaign(
     )
     report = ChaosReport(
         protocol_name=protocol.name,
-        schedule_description=(
-            schedule.describe()
-            if isinstance(schedule, FaultSchedule)
-            else ("none" if schedule is None else type(schedule).__name__)
-        ),
+        schedule_description=_schedule_description(config),
         n_batches_requested=n_batches,
         monitor=monitor,
     )
@@ -196,6 +209,88 @@ def run_chaos_campaign(
                 "schedule": report.schedule_description,
             }
         )
+    return report
+
+
+def _schedule_description(config: SimulationConfig) -> str:
+    schedule = config.fault_schedule
+    if isinstance(schedule, FaultSchedule):
+        return schedule.describe()
+    return "none" if schedule is None else type(schedule).__name__
+
+
+def _run_chaos_parallel(
+    config: SimulationConfig,
+    protocol: ReplicaControlProtocol,
+    n_batches: int,
+    monitor: InvariantMonitor,
+    fail_fast: bool,
+    telemetry,
+    n_workers: int,
+) -> ChaosReport:
+    """Process-pool twin of the serial campaign loop."""
+    from repro.simulation.parallel import (
+        merge_monitor_outcomes,
+        run_batches_parallel,
+    )
+    from repro.telemetry.snapshot import TelemetrySnapshot as _Snapshot
+
+    outcomes = run_batches_parallel(
+        config,
+        protocol,
+        list(range(n_batches)),
+        n_workers,
+        record_telemetry=telemetry.enabled,
+        monitor_kwargs={
+            "raise_on_violation": monitor.raise_on_violation,
+            "record_snapshots": monitor.record_snapshots,
+            "max_records": monitor.max_records,
+        },
+    )
+    report = ChaosReport(
+        protocol_name=protocol.name,
+        schedule_description=_schedule_description(config),
+        n_batches_requested=n_batches,
+        monitor=monitor,
+    )
+    merge_monitor_outcomes(monitor, outcomes)
+    snapshots = []
+    for outcome in outcomes:
+        if outcome.quarantine_error is not None:
+            if fail_fast:
+                raise outcome.quarantine_error
+            report.quarantined.append(
+                QuarantinedBatch.from_error(outcome.quarantine_error))
+        else:
+            report.batches.append(outcome.batch)
+        if outcome.snapshot is not None:
+            snapshots.append(outcome.snapshot)
+    if telemetry.enabled and snapshots:
+        merged = _Snapshot.merged(
+            snapshots,
+            meta={
+                "mode": "chaos",
+                "protocol": protocol.name,
+                "topology": config.topology.name,
+                "n_batches": n_batches,
+                "seed": config.seed,
+                "schedule": report.schedule_description,
+                "n_workers": n_workers,
+            },
+        )
+        if report.quarantined:
+            quarantine_count = sum(
+                1 for outcome in outcomes if outcome.quarantine_error is not None
+            )
+            merged.counters.append({
+                "name": "repro_chaos_quarantined_total",
+                "help": "chaos batches quarantined after an execution error",
+                "series": [{
+                    "labels": {"protocol": protocol.name},
+                    "value": float(quarantine_count),
+                }],
+            })
+        report.telemetry = merged
     return report
 
 

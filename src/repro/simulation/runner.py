@@ -230,6 +230,7 @@ def run_simulation(
     change_observer: Optional[ChangeObserver] = None,
     fail_fast: bool = True,
     telemetry=None,
+    n_workers: int = 1,
 ) -> SimulationResult:
     """Run the paper's batch procedure.
 
@@ -249,12 +250,37 @@ def run_simulation(
     :func:`repro.telemetry.use`), the returned result carries a
     :class:`~repro.telemetry.snapshot.TelemetrySnapshot` of the whole
     run on ``result.telemetry``.
+
+    ``n_workers > 1`` fans the batches out over a process pool
+    (DESIGN.md §8). Every batch derives all its random streams from
+    ``(config.seed, batch_index)``, and outcomes are aggregated in batch
+    index order, so every result aggregate — ACC, SURV, pooled densities
+    — is bitwise identical to the serial run. Telemetry is recorded
+    per batch inside the workers and merged in batch order; the merged
+    audit totals reconcile with ACC exactly, as in the serial run. Only
+    the adaptive phase differs operationally: batches are added in waves
+    of ``n_workers``, so the run may finish with up to ``n_workers - 1``
+    more batches than a serial adaptive run (never exceeding
+    ``max_batches``). ``change_observer`` callbacks cannot cross the
+    process boundary and require ``n_workers=1``.
     """
     if max_batches < config.n_batches:
         raise SimulationError(
             f"max_batches ({max_batches}) below configured n_batches ({config.n_batches})"
         )
+    if n_workers <= 0:
+        raise SimulationError(f"n_workers must be positive, got {n_workers}")
     telemetry = _resolve_telemetry(telemetry)
+    if n_workers > 1:
+        if change_observer is not None:
+            raise SimulationError(
+                "change_observer callbacks cannot cross the process boundary; "
+                "use n_workers=1"
+            )
+        return _run_simulation_parallel(
+            config, protocol, target_half_width, max_batches,
+            fail_fast, telemetry, n_workers,
+        )
     engine = SimulationEngine(config, protocol, change_observer,
                               telemetry=telemetry)
     batches: List[BatchResult] = []
@@ -294,5 +320,70 @@ def run_simulation(
                 "n_batches": len(batches),
                 "seed": config.seed,
             }
+        )
+    return result
+
+
+def _run_simulation_parallel(
+    config: SimulationConfig,
+    protocol: ReplicaControlProtocol,
+    target_half_width: Optional[float],
+    max_batches: int,
+    fail_fast: bool,
+    telemetry,
+    n_workers: int,
+) -> SimulationResult:
+    """Process-pool twin of the serial loop in :func:`run_simulation`."""
+    from repro.simulation.parallel import run_batches_parallel
+
+    batches: List[BatchResult] = []
+    quarantined: List[QuarantinedBatch] = []
+    snapshots: List[TelemetrySnapshot] = []
+
+    def run_wave(indices: List[int]) -> None:
+        outcomes = run_batches_parallel(
+            config, protocol, indices, n_workers,
+            record_telemetry=telemetry.enabled,
+        )
+        for outcome in outcomes:
+            if outcome.quarantine_error is not None:
+                if fail_fast:
+                    raise outcome.quarantine_error
+                quarantined.append(
+                    QuarantinedBatch.from_error(outcome.quarantine_error))
+            else:
+                batches.append(outcome.batch)
+            if outcome.snapshot is not None:
+                snapshots.append(outcome.snapshot)
+
+    run_wave(list(range(config.n_batches)))
+    if not batches:
+        raise SimulationError(
+            f"every batch failed ({len(quarantined)} quarantined); first: "
+            f"{quarantined[0].describe()}"
+        )
+    result = SimulationResult(config, protocol.name, batches, quarantined)
+    next_index = config.n_batches
+    while (
+        target_half_width is not None
+        and not result.availability.meets_precision(target_half_width)
+        and len(batches) + len(quarantined) < max_batches
+    ):
+        budget = max_batches - len(batches) - len(quarantined)
+        wave = list(range(next_index, next_index + min(n_workers, budget)))
+        next_index += len(wave)
+        run_wave(wave)
+        result = SimulationResult(config, protocol.name, batches, quarantined)
+    if telemetry.enabled and snapshots:
+        result.telemetry = TelemetrySnapshot.merged(
+            snapshots,
+            meta={
+                "protocol": protocol.name,
+                "topology": config.topology.name,
+                "alpha": config.workload.alpha,
+                "n_batches": len(batches),
+                "seed": config.seed,
+                "n_workers": n_workers,
+            },
         )
     return result

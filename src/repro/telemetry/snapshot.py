@@ -67,6 +67,61 @@ class TelemetrySnapshot:
         return snap
 
     # ------------------------------------------------------------------
+    # Merging (parallel batch fan-out)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(cls, snapshots: List["TelemetrySnapshot"],
+               meta: Optional[dict] = None) -> "TelemetrySnapshot":
+        """Combine per-worker snapshots into one (DESIGN.md §8).
+
+        Callers pass snapshots in batch-index order; the merge is
+        deterministic given that order. Semantics per record type:
+
+        - **counters** — per-label-set values add; audit totals likewise,
+          so reconciliation invariants (ACC == granted/submitted) survive.
+        - **gauges** — point-in-time values: the last snapshot holding a
+          series wins (workers set disjoint series in practice).
+        - **histograms** — bucket counts add, ``count``/``sum`` add,
+          ``min``/``max`` combine, stddev is recomputed from pooled
+          second moments (``sum_sq`` reconstructed per side from
+          ``stddev``/``mean``/``count``), and quantiles are re-estimated
+          from the merged buckets — P² marker state is not mergeable, so
+          when several sides carry samples the pooled estimate
+          interpolates within the merged cumulative bucket profile.
+          A series present in only one snapshot is copied verbatim.
+        - **spans / audit records** — concatenate; overflow counts add.
+        """
+        if not snapshots:
+            raise ReproError("cannot merge zero telemetry snapshots")
+        snap = cls(meta={
+            "created_at": max(float(s.meta.get("created_at", 0.0)) for s in snapshots),
+            "merged_from": len(snapshots),
+            **(meta or {}),
+        })
+        snap.counters = _merge_scalar([s.counters for s in snapshots], add=True)
+        snap.gauges = _merge_scalar([s.gauges for s in snapshots], add=False)
+        snap.histograms = _merge_histograms([s.histograms for s in snapshots])
+        for source in snapshots:
+            snap.spans.extend(source.spans)
+            snap.span_overflow += source.span_overflow
+            snap.audit_records.extend(source.audit_records)
+            snap.audit_overflow += source.audit_overflow
+        totals: Dict[tuple, float] = {}
+        for source in snapshots:
+            for entry in source.audit_totals:
+                key = (entry["op"], entry["reason"])
+                totals[key] = totals.get(key, 0.0) + float(entry["volume"])
+        snap.audit_totals = [
+            {"op": op, "reason": reason, "volume": volume}
+            for (op, reason), volume in sorted(totals.items())
+        ]
+        return snap
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Pairwise convenience wrapper around :meth:`merged`."""
+        return TelemetrySnapshot.merged([self, other])
+
+    # ------------------------------------------------------------------
     # Metric lookups (reports and tests)
     # ------------------------------------------------------------------
     def _find(self, collection: List[Dict[str, object]], name: str
@@ -201,6 +256,155 @@ def _scalar_metric(metric) -> Dict[str, object]:
             for key, value in sorted(metric.series().items())
         ],
     }
+
+
+def _series_key(labels: Dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _merge_scalar(collections: List[List[Dict[str, object]]],
+                  add: bool) -> List[Dict[str, object]]:
+    """Merge counter/gauge metric lists: add values or last-writer-wins."""
+    order: List[str] = []
+    helps: Dict[str, str] = {}
+    values: Dict[str, Dict[tuple, float]] = {}
+    labels_of: Dict[str, Dict[tuple, Dict[str, str]]] = {}
+    for collection in collections:
+        for metric in collection:
+            name = str(metric["name"])
+            if name not in values:
+                order.append(name)
+                helps[name] = str(metric.get("help", ""))
+                values[name] = {}
+                labels_of[name] = {}
+            for series in metric["series"]:
+                key = _series_key(series["labels"])
+                labels_of[name][key] = dict(series["labels"])
+                if add:
+                    values[name][key] = values[name].get(key, 0.0) + float(series["value"])
+                else:
+                    values[name][key] = float(series["value"])
+    return [
+        {
+            "name": name,
+            "help": helps[name],
+            "series": [
+                {"labels": labels_of[name][key], "value": value}
+                for key, value in sorted(values[name].items())
+            ],
+        }
+        for name in sorted(order)
+    ]
+
+
+def _bucket_quantile(q: float, buckets: List[float],
+                     bucket_counts: List[float], count: float,
+                     lo: float, hi: float) -> float:
+    """Pooled quantile re-estimate from a merged cumulative bucket profile.
+
+    Linear interpolation within the bin containing rank ``q * count``;
+    the open-ended bins are clamped to the observed ``min``/``max``.
+    """
+    target = q * count
+    cumulative = 0.0
+    for i, bin_count in enumerate(bucket_counts):
+        if bin_count <= 0:
+            continue
+        if cumulative + bin_count >= target:
+            lower = lo if i == 0 else max(lo, buckets[i - 1])
+            upper = hi if i >= len(buckets) else min(hi, buckets[i])
+            frac = min(1.0, max(0.0, (target - cumulative) / bin_count))
+            if lower > 0.0 and upper > lower:
+                # Default buckets are log-spaced; geometric interpolation
+                # within a bin tracks latency-shaped data far better than
+                # linear for wide bins.
+                return lower * (upper / lower) ** frac
+            return lower + (upper - lower) * frac
+        cumulative += bin_count
+    return hi
+
+
+def _merge_histogram_series(series_list: List[Dict[str, object]],
+                            buckets: List[float]) -> Dict[str, object]:
+    nonempty = [s for s in series_list if s["count"] > 0]
+    if len(nonempty) <= 1:
+        # 0 or 1 side carries samples: copy it verbatim — its P² quantile
+        # estimates are strictly better than a bucket re-estimate.
+        base = dict(nonempty[0] if nonempty else series_list[0])
+        base["labels"] = dict(base["labels"])
+        return base
+    bucket_counts = [0] * len(nonempty[0]["bucket_counts"])
+    count = 0
+    total = 0.0
+    sum_sq = 0.0
+    lo = math.inf
+    hi = -math.inf
+    for series in nonempty:
+        if len(series["bucket_counts"]) != len(bucket_counts):
+            raise ReproError(
+                "cannot merge histogram series with differing bucket layouts"
+            )
+        for i, bin_count in enumerate(series["bucket_counts"]):
+            bucket_counts[i] += bin_count
+        count += series["count"]
+        total += series["sum"]
+        mean = float(series["mean"])
+        stddev = float(series["stddev"])
+        sum_sq += (stddev * stddev + mean * mean) * series["count"]
+        if series["min"] is not None:
+            lo = min(lo, float(series["min"]))
+        if series["max"] is not None:
+            hi = max(hi, float(series["max"]))
+    mean = total / count
+    var = max(0.0, sum_sq / count - mean * mean)
+    levels = sorted({q for s in nonempty for q in s["quantiles"]})
+    return {
+        "labels": dict(series_list[0]["labels"]),
+        "bucket_counts": bucket_counts,
+        "count": count,
+        "sum": total,
+        "min": lo,
+        "max": hi,
+        "mean": mean,
+        "stddev": math.sqrt(var),
+        "quantiles": {
+            q: _bucket_quantile(float(q), buckets, bucket_counts, count, lo, hi)
+            for q in levels
+        },
+    }
+
+
+def _merge_histograms(collections: List[List[Dict[str, object]]]
+                      ) -> List[Dict[str, object]]:
+    helps: Dict[str, str] = {}
+    buckets_of: Dict[str, List[float]] = {}
+    grouped: Dict[str, Dict[tuple, List[Dict[str, object]]]] = {}
+    for collection in collections:
+        for metric in collection:
+            name = str(metric["name"])
+            if name not in grouped:
+                helps[name] = str(metric.get("help", ""))
+                buckets_of[name] = list(metric["buckets"])
+                grouped[name] = {}
+            elif list(metric["buckets"]) != buckets_of[name]:
+                raise ReproError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            for series in metric["series"]:
+                key = _series_key(series["labels"])
+                grouped[name].setdefault(key, []).append(series)
+    return [
+        {
+            "name": name,
+            "help": helps[name],
+            "buckets": buckets_of[name],
+            "series": [
+                _merge_histogram_series(series_list, buckets_of[name])
+                for _, series_list in sorted(grouped[name].items())
+            ],
+        }
+        for name in sorted(grouped)
+    ]
 
 
 def _histogram_metric(metric) -> Dict[str, object]:

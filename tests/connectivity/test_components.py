@@ -143,3 +143,52 @@ class TestComponentMembers:
         groups = component_members(labels)
         assert all(1 not in g for g in groups)
         assert sum(len(g) for g in groups) == 3
+
+
+class TestBatchedLabels:
+    """batched_component_labels / batched_vote_totals vs the scalar path."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_labels_match_scalar_partition(self, seed):
+        from repro.connectivity.components import batched_component_labels
+
+        rng = np.random.default_rng(seed)
+        topo = ring(8)
+        site_masks = rng.random((12, topo.n_sites)) < 0.7
+        link_masks = rng.random((12, topo.n_links)) < 0.6
+        batched = batched_component_labels(topo, site_masks, link_masks)
+        for k in range(12):
+            scalar = component_labels(topo, site_masks[k], link_masks[k])
+            assert (batched[k] == DOWN_LABEL).tolist() == (scalar == DOWN_LABEL).tolist()
+            up = scalar >= 0
+            for i in np.nonzero(up)[0]:
+                for j in np.nonzero(up)[0]:
+                    assert (batched[k][i] == batched[k][j]) == (scalar[i] == scalar[j])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fused_totals_match_scalar_totals(self, seed):
+        from repro.connectivity.components import batched_vote_totals
+
+        rng = np.random.default_rng(seed)
+        topo = Topology(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+                        votes=[1, 2, 1, 3, 1, 2])
+        site_masks = rng.random((10, topo.n_sites)) < 0.75
+        link_masks = rng.random((10, topo.n_links)) < 0.65
+        totals = batched_vote_totals(topo, site_masks, link_masks)
+        for k in range(10):
+            labels = component_labels(topo, site_masks[k], link_masks[k])
+            expected = component_vote_totals(labels, topo.votes)
+            np.testing.assert_array_equal(totals[k], expected)
+
+    def test_batched_shape_validation(self):
+        from repro.connectivity.components import (
+            batched_component_labels,
+            batched_vote_totals,
+        )
+
+        topo = ring(5)
+        good_sites = np.ones((3, 5), bool)
+        with pytest.raises(TopologyError):
+            batched_component_labels(topo, good_sites, np.ones((2, 5), bool))
+        with pytest.raises(TopologyError):
+            batched_vote_totals(topo, np.ones((3, 4), bool), np.ones((3, 5), bool))

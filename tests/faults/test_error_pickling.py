@@ -1,0 +1,80 @@
+"""Contextual errors must survive pickling (the process-pool boundary).
+
+``BatchOutcome.quarantine_error`` carries a :class:`BatchExecutionError`
+back from a worker process. The default ``BaseException.__reduce__``
+replays only positional ``args`` — it drops keyword-only fields (the
+unpickle then dies with ``TypeError: missing batch_index``, killing the
+whole pool) and silently discards ``__cause__``, which quarantine
+reporting reads for the original error type and message. The custom
+``__reduce__`` on :class:`ContextualError` must preserve both.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BatchExecutionError,
+    ContextualError,
+    DensityError,
+    FaultInjectionError,
+    InvariantViolation,
+)
+from repro.simulation.runner import QuarantinedBatch
+
+
+def _roundtrip(exc):
+    return pickle.loads(pickle.dumps(exc))
+
+
+class TestContextualErrorPickling:
+    def test_batch_execution_error_roundtrips(self):
+        exc = BatchExecutionError(
+            "batch 3 aborted",
+            batch_index=3,
+            sim_time=183.9,
+            seed=17,
+            snapshot={"labels": [0, 0, -1]},
+        )
+        back = _roundtrip(exc)
+        assert isinstance(back, BatchExecutionError)
+        assert back.batch_index == 3
+        assert back.sim_time == 183.9
+        assert back.seed == 17
+        assert back.snapshot == {"labels": [0, 0, -1]}
+        assert back.message == "batch 3 aborted"
+        assert str(back) == str(exc)
+
+    def test_cause_survives_the_roundtrip(self):
+        exc = BatchExecutionError("batch 1 aborted", batch_index=1, seed=0)
+        exc.__cause__ = DensityError("vote totals must be in 0..21")
+        back = _roundtrip(exc)
+        assert isinstance(back.__cause__, DensityError)
+        assert str(back.__cause__) == "vote totals must be in 0..21"
+
+    def test_quarantine_report_reads_the_unpickled_cause(self):
+        exc = BatchExecutionError(
+            "batch 1 aborted", batch_index=1, seed=0, sim_time=42.0
+        )
+        exc.__cause__ = DensityError("vote totals must be in 0..21")
+        quarantine = QuarantinedBatch.from_error(_roundtrip(exc))
+        assert quarantine.error_type == "DensityError"
+        assert quarantine.message == "vote totals must be in 0..21"
+        assert quarantine.batch_index == 1
+
+    def test_invariant_violation_keeps_rule(self):
+        exc = InvariantViolation(
+            "read quorum disjoint from write quorum",
+            rule="quorum-intersection",
+            sim_time=2.8,
+        )
+        back = _roundtrip(exc)
+        assert back.rule == "quorum-intersection"
+        assert back.sim_time == 2.8
+
+    @pytest.mark.parametrize("cls", [ContextualError, FaultInjectionError])
+    def test_plain_contextual_subclasses_roundtrip(self, cls):
+        back = _roundtrip(cls("boom", sim_time=1.0, seed=9))
+        assert type(back) is cls
+        assert back.message == "boom"
+        assert back.seed == 9

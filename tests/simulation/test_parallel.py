@@ -1,0 +1,140 @@
+"""Process-pool fan-out: bitwise determinism and telemetry reconciliation.
+
+The contract (DESIGN.md §8): every batch derives its random streams from
+``(config.seed, batch_index)`` alone and outcomes aggregate in batch
+index order, so ``n_workers`` must be operationally invisible — ACC,
+SURV, and the pooled densities are *bitwise* identical for any worker
+count, and merged audit totals still reconcile exactly with ACC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.paper import TEST_SCALE
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.runner import run_simulation
+from repro.telemetry.audit import GRANTED
+from repro.telemetry.recorder import Telemetry
+
+pytestmark = pytest.mark.slow
+
+
+def _config(seed=0):
+    return TEST_SCALE.config(2, alpha=0.5, seed=seed)
+
+
+def _protocol(config):
+    return MajorityConsensusProtocol(config.topology.total_votes)
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    config = _config()
+    serial = run_simulation(config, _protocol(config),
+                            telemetry=Telemetry(), n_workers=1)
+    parallel = run_simulation(config, _protocol(config),
+                              telemetry=Telemetry(), n_workers=4)
+    return serial, parallel
+
+
+class TestBitwiseDeterminism:
+    def test_acc_identical(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert serial.availability.values == parallel.availability.values
+        assert serial.read_availability.values == parallel.read_availability.values
+        assert serial.write_availability.values == parallel.write_availability.values
+
+    def test_surv_identical(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert serial.surv_read.values == parallel.surv_read.values
+        assert serial.surv_write.values == parallel.surv_write.values
+
+    def test_pooled_densities_identical(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        np.testing.assert_array_equal(
+            serial.density_matrix("time"), parallel.density_matrix("time"))
+        np.testing.assert_array_equal(
+            serial.density_matrix("access"), parallel.density_matrix("access"))
+        np.testing.assert_array_equal(
+            serial.max_component_density(), parallel.max_component_density())
+
+
+class TestTelemetryReconciliation:
+    def test_merged_audit_totals_reconcile_with_acc(self, serial_and_parallel):
+        _, parallel = serial_and_parallel
+        snapshot = parallel.telemetry
+        assert snapshot is not None
+        granted = sum(b.accesses_granted for b in parallel.batches)
+        submitted = sum(b.accesses_submitted for b in parallel.batches)
+        assert snapshot.audit_volume(reason=GRANTED) == pytest.approx(
+            granted, abs=1e-9)
+        assert snapshot.audit_volume() == pytest.approx(submitted, abs=1e-9)
+        assert snapshot.audit_availability() == pytest.approx(
+            granted / submitted, abs=1e-12)
+
+    def test_merged_totals_equal_serial_totals(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        serial_totals = {(e["op"], e["reason"]): e["volume"]
+                         for e in serial.telemetry.audit_totals}
+        parallel_totals = {(e["op"], e["reason"]): e["volume"]
+                           for e in parallel.telemetry.audit_totals}
+        assert set(serial_totals) == set(parallel_totals)
+        for key, volume in serial_totals.items():
+            assert parallel_totals[key] == pytest.approx(volume, abs=1e-9)
+
+    def test_merged_meta_records_worker_count(self, serial_and_parallel):
+        _, parallel = serial_and_parallel
+        assert parallel.telemetry.meta["n_workers"] == 4
+        assert parallel.telemetry.meta["merged_from"] == len(parallel.batches)
+
+
+class TestParallelPlumbing:
+    def test_change_observer_rejected_in_parallel_mode(self):
+        config = _config()
+        with pytest.raises(SimulationError):
+            run_simulation(config, _protocol(config), n_workers=2,
+                           change_observer=lambda now, tracker, proto: None)
+
+    def test_invalid_worker_count(self):
+        config = _config()
+        with pytest.raises(SimulationError):
+            run_simulation(config, _protocol(config), n_workers=0)
+
+    def test_parallel_without_telemetry(self):
+        config = _config()
+        result = run_simulation(config, _protocol(config), n_workers=2)
+        assert result.telemetry is None
+        assert result.n_batches == config.n_batches
+
+
+class TestParallelChaos:
+    def test_report_matches_serial(self):
+        from repro.faults.chaos import run_chaos_campaign
+        from repro.faults.monitor import InvariantMonitor
+
+        config = _config()
+        serial_monitor, parallel_monitor = InvariantMonitor(), InvariantMonitor()
+        serial = run_chaos_campaign(config, _protocol(config), n_batches=3,
+                                    monitor=serial_monitor)
+        parallel = run_chaos_campaign(config, _protocol(config), n_batches=3,
+                                      monitor=parallel_monitor, n_workers=3)
+        assert serial.passed == parallel.passed
+        assert serial.availability() == parallel.availability()
+        assert serial_monitor.checks_run == parallel_monitor.checks_run
+        assert len(serial.violations) == len(parallel.violations)
+
+    def test_violations_merge_in_batch_order(self):
+        from repro.faults.chaos import run_chaos_campaign, unchecked_assignment
+        from repro.faults.monitor import InvariantMonitor
+        from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+
+        config = _config()
+        T = config.topology.total_votes
+        monitor = InvariantMonitor()
+        report = run_chaos_campaign(
+            config, QuorumConsensusProtocol(unchecked_assignment(T, 1, T // 2)),
+            n_batches=2, monitor=monitor, n_workers=2)
+        assert not report.passed
+        batch_ids = [v.batch_index for v in report.violations]
+        assert batch_ids == sorted(batch_ids)
