@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Marker hygiene gate: slow tests must say so.
+
+Runs the test suite under an embedded pytest plugin that records each test's
+total duration (setup + call + teardown) and the markers it carries, then
+fails if any test exceeding the threshold lacks the ``slow`` (or
+``chaos``) marker. Keeping the marker truthful is what lets developers
+run ``pytest -m "not slow"`` for a fast inner loop and lets CI shard by
+cost.
+
+Usage:
+    PYTHONPATH=src python scripts/check_marker_hygiene.py [pytest args...]
+
+Options (consumed before pytest sees the rest):
+    --threshold SECONDS   duration above which a marker is required
+                          (default 5.0)
+    --list                also print the slowest properly-marked tests
+
+Exit codes: 0 = hygiene holds, 1 = unmarked slow tests found,
+2 = the underlying pytest run itself failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import pytest
+
+#: Markers that legitimately declare a test as expensive.
+COST_MARKERS = ("slow", "chaos")
+
+DEFAULT_THRESHOLD = 5.0
+
+
+class MarkerHygienePlugin:
+    """Records per-test durations and markers during a normal run."""
+
+    def __init__(self) -> None:
+        self.markers: dict[str, set] = {}
+        self.durations: dict[str, float] = {}
+
+    def pytest_collection_modifyitems(self, items) -> None:
+        for item in items:
+            self.markers[item.nodeid] = {m.name for m in item.iter_markers()}
+
+    def pytest_runtest_logreport(self, report) -> None:
+        # Sum setup + call + teardown: a slow fixture is as real a cost
+        # as a slow test body.
+        self.durations[report.nodeid] = (
+            self.durations.get(report.nodeid, 0.0) + report.duration
+        )
+
+    # ------------------------------------------------------------------
+    def offenders(self, threshold: float):
+        out = []
+        for nodeid, duration in self.durations.items():
+            if duration <= threshold:
+                continue
+            marks = self.markers.get(nodeid, set())
+            if not marks & set(COST_MARKERS):
+                out.append((duration, nodeid))
+        return sorted(out, reverse=True)
+
+    def marked_slowest(self, top: int = 10):
+        marked = [
+            (duration, nodeid)
+            for nodeid, duration in self.durations.items()
+            if self.markers.get(nodeid, set()) & set(COST_MARKERS)
+        ]
+        return sorted(marked, reverse=True)[:top]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="seconds above which a cost marker is required")
+    parser.add_argument("--list", action="store_true",
+                        help="also list the slowest properly-marked tests")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    plugin = MarkerHygienePlugin()
+    code = pytest.main(["-q", *pytest_args], plugins=[plugin])
+    if code != 0:
+        print(f"marker hygiene: underlying pytest run failed (exit {code})",
+              file=sys.stderr)
+        return 2
+
+    offenders = plugin.offenders(args.threshold)
+    print(f"marker hygiene: {len(plugin.durations)} test reports, "
+          f"threshold {args.threshold:.1f}s, markers {COST_MARKERS}")
+    if args.list:
+        for duration, nodeid in plugin.marked_slowest():
+            print(f"  [marked] {duration:6.2f}s {nodeid}")
+    if offenders:
+        print(f"FAIL: {len(offenders)} test(s) exceed {args.threshold:.1f}s "
+              "without a cost marker:", file=sys.stderr)
+        for duration, nodeid in offenders:
+            print(f"  {duration:6.2f}s {nodeid}", file=sys.stderr)
+        print("mark them with @pytest.mark.slow (or chaos) so "
+              '`pytest -m "not slow"` stays fast', file=sys.stderr)
+        return 1
+    print("marker hygiene: OK — every test above the threshold is marked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

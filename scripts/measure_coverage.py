@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Measure line coverage of ``src/repro`` using only the stdlib.
+
+CI runs pytest-cov, but this container (and any contributor without the
+test extras) can establish the same baseline with ``sys.settrace``: a
+global trace hook records every line executed inside ``src/repro`` while
+pytest runs, and executable-line denominators come from compiling each
+source file and walking ``co_lines()`` over the nested code objects —
+the same instruction-bearing-line definition coverage.py uses.
+
+Usage:
+    PYTHONPATH=src python scripts/measure_coverage.py [--floor PCT] \
+        [pytest args...]
+
+Tracing costs roughly a 3-5x slowdown; pass ``-m "not slow"`` to get a
+quick estimate, or nothing for the full tier-1 number.
+
+Exit codes: 0 = coverage at or above the floor, 1 = below the floor,
+2 = the underlying pytest run failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Floor enforced by CI (see .github/workflows/ci.yml). The full tier-1
+#: suite measured 93.8% when the floor was set; the margin absorbs
+#: line-definition differences vs pytest-cov and untraced subprocess
+#: workers. Update deliberately, not to silence a regression.
+DEFAULT_FLOOR = 88.0
+
+
+def executable_lines(path: Path) -> set:
+    """Lines of *path* that carry bytecode, per co_lines() recursion."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _, _, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        stack.extend(c for c in obj.co_consts if hasattr(c, "co_lines"))
+    return lines
+
+
+class LineCollector:
+    """Global trace hook recording executed lines under ``src/repro``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = str(root) + os.sep
+        self.hits: dict = {}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits.setdefault(frame.f_code.co_filename, set()).add(
+                frame.f_lineno
+            )
+        return self._local
+
+    def __call__(self, frame, event, arg):
+        # Filter at call granularity so foreign frames run untraced.
+        if event == "call" and frame.f_code.co_filename.startswith(self.root):
+            return self._local(frame, event, arg)
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="minimum acceptable total coverage percent")
+    parser.add_argument("--per-file", action="store_true",
+                        help="print a per-file breakdown")
+    args, pytest_args = parser.parse_known_args(argv)
+
+    collector = LineCollector(SRC_ROOT)
+    import threading
+
+    threading.settrace(collector)
+    sys.settrace(collector)
+    try:
+        code = pytest.main(["-q", "-p", "no:cacheprovider", *pytest_args])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+    if code != 0:
+        print(f"coverage: underlying pytest run failed (exit {code})",
+              file=sys.stderr)
+        return 2
+
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        lines = executable_lines(path)
+        hit = collector.hits.get(str(path), set()) & lines
+        total_exec += len(lines)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+        rows.append((pct, len(hit), len(lines),
+                     path.relative_to(SRC_ROOT.parent)))
+
+    if args.per_file:
+        for pct, hit, n_lines, rel in sorted(rows):
+            print(f"  {pct:6.1f}%  {hit:4d}/{n_lines:<4d}  {rel}")
+
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"coverage: {total_hit}/{total_exec} executable lines "
+          f"= {total_pct:.1f}% (floor {args.floor:.1f}%)")
+    if total_pct < args.floor:
+        print(f"FAIL: coverage {total_pct:.1f}% is below the "
+              f"{args.floor:.1f}% floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

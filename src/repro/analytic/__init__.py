@@ -36,10 +36,37 @@ from repro.analytic.markov import (
     stationary_availability,
 )
 
+#: Families with a closed-form ``f_i(v)`` (paper, section 4.2).
+CLOSED_FORM_FAMILIES = ("ring", "complete", "bus")
+
+
+def closed_form_density(family: str, n_sites: int, p: float, r: float):
+    """Dispatch to the section-4.2 closed form for ``family``.
+
+    ``family`` is one of :data:`CLOSED_FORM_FAMILIES`. The bus family uses
+    the ``sites_need_bus=False`` architecture (sites survive a bus outage
+    as singletons), matching the star-through-a-zero-vote-hub encoding the
+    enumeration oracle and the simulator use.
+    """
+    from repro.errors import DensityError
+
+    if family == "ring":
+        return ring_density(n_sites, p, r)
+    if family == "complete":
+        return complete_density(n_sites, p, r)
+    if family == "bus":
+        return bus_density(n_sites, p, r, sites_need_bus=False)
+    raise DensityError(
+        f"no closed form for family {family!r}; choose from {CLOSED_FORM_FAMILIES}"
+    )
+
+
 __all__ = [
+    "CLOSED_FORM_FAMILIES",
     "JointMarkovChain",
     "all_connected_probability",
     "bus_density",
+    "closed_form_density",
     "complete_density",
     "density_matrix_mean",
     "enumerate_density",

@@ -17,6 +17,10 @@ writing Python:
   monitoring (DESIGN.md: "Chaos engineering the quorum layer").
 - ``metrics``           — re-render a ``--telemetry`` JSONL stream as the
   human report (spans, counters, quorum-decision audit).
+- ``verify``            — the differential-verification battery: every
+  applicable engine pair, the metamorphic relations, and the golden
+  regression corpus. Exit 0 = all checks pass, 1 = divergence,
+  2 = configuration error.
 
 ``simulate`` and ``chaos`` accept ``--telemetry`` (and ``--telemetry-dir``)
 to record metrics, spans, and the quorum-decision audit log, exporting a
@@ -400,14 +404,45 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.errors import ReproError
     from repro.telemetry.export import load_snapshot_jsonl, render_report
 
     path = Path(args.path)
     if path.is_dir():
         path = path / "events.jsonl"
+    if not path.exists():
+        raise ReproError(
+            f"no telemetry stream at {path}; run a command with --telemetry "
+            "(or --telemetry-dir) first"
+        )
     snapshot = load_snapshot_jsonl(path)
     print(render_report(snapshot))
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verification import run_profile, write_corpus
+
+    if args.regenerate_golden:
+        path = write_corpus()
+        print(f"golden corpus regenerated at {path}")
+        print("review the diff before committing: these values gate every "
+              "future `repro verify` run")
+        return 0
+    telemetry = _telemetry_from_args(args)
+    if telemetry is None:
+        report = run_profile(args.profile, bug=args.inject_bug,
+                             golden=not args.no_golden)
+    else:
+        from repro.telemetry.recorder import use as _use_telemetry
+
+        with _use_telemetry(telemetry):
+            report = run_profile(args.profile, bug=args.inject_bug,
+                                 golden=not args.no_golden)
+    print(report.summary(drift_top=args.drift_top))
+    if telemetry is not None:
+        _export_telemetry(telemetry.snapshot(), args)
+    return 0 if report.passed else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -573,6 +608,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument("--seed", type=int, default=0)
     val.set_defaults(func=_cmd_validate)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: cross-engine pairs, metamorphic "
+        "relations, golden corpus (exit 0 pass / 1 divergence / 2 config "
+        "error)",
+    )
+    verify.add_argument("--profile", choices=("quick", "full"), default="quick",
+                        help="case battery to run (quick = per-PR gate)")
+    verify.add_argument("--inject-bug", default=None, metavar="NAME",
+                        help="wire a deliberate defect (e.g. "
+                        "'quorum-off-by-one') into the closed-form engine; "
+                        "a healthy harness must then exit 1")
+    verify.add_argument("--regenerate-golden", action="store_true",
+                        help="recompute and overwrite the locked golden "
+                        "corpus instead of checking against it")
+    verify.add_argument("--no-golden", action="store_true",
+                        help="skip the golden-corpus drift check")
+    verify.add_argument("--drift-top", type=int, default=5, metavar="N",
+                        help="show the N checks closest to their tolerance")
+    _add_telemetry_args(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

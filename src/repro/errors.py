@@ -27,6 +27,7 @@ __all__ = [
     "DensityError",
     "OptimizationError",
     "SerializabilityError",
+    "VerificationError",
     "FaultInjectionError",
     "InvariantViolation",
     "BatchExecutionError",
@@ -148,6 +149,17 @@ class DensityError(ReproError):
 
 class OptimizationError(ReproError):
     """Raised when a quorum optimizer is given an empty or infeasible range."""
+
+
+class VerificationError(ReproError):
+    """Raised when the differential-verification subsystem is misconfigured.
+
+    Examples: an unknown verification profile or bug-injection name, a
+    golden corpus file that is missing or structurally invalid, or a
+    verification case whose parameters no engine can evaluate. Divergence
+    between engines is *not* an error — it is reported as a failed check
+    in the :class:`~repro.verification.differential.VerificationReport`.
+    """
 
 
 class SerializabilityError(ReproError):

@@ -171,6 +171,7 @@ class InvariantMonitor:
             ).inc()
         self._check_assignments(now, tracker, protocol)
         self._check_grant_disjointness(now, tracker, protocol)
+        self._check_metamorphic_grants(now, tracker, protocol)
         self._check_versions(now, tracker, protocol)
 
     __call__ = observe
@@ -281,6 +282,104 @@ class InvariantMonitor:
                     "installed elsewhere — violates the QR propagation rule",
                     tracker, protocol,
                 )
+
+    def _component_grant_views(self, tracker, protocol):
+        """Per-component (members, assignment, votes) for grant replay."""
+        views = getattr(protocol, "component_views", None)
+        if views is not None:
+            return list(views(tracker))
+        assignment = getattr(protocol, "assignment", None)
+        if assignment is None:
+            return []
+        labels = tracker.labels
+        totals = tracker.vote_totals
+        out = []
+        if labels.size and (labels >= 0).any():
+            for label in range(int(labels.max()) + 1):
+                members = np.nonzero(labels == label)[0]
+                out.append((members, assignment, int(totals[members[0]])))
+        return out
+
+    def _check_metamorphic_grants(self, now, tracker, protocol) -> None:
+        """Metamorphic replay of declarative grant decisions.
+
+        For protocols that declare their grants to be a pure function of
+        (effective assignment, component vote total) — ``declarative_grants``
+        — two identities must hold in every network state:
+
+        - **grant-mask-consistency**: the mask the protocol emitted equals
+          the one recomputed from the declared assignment, uniformly
+          across each component's members;
+        - **grant-monotonicity**: among components under the *same*
+          assignment, granting a poorer component but not a richer one is
+          impossible (grants are threshold functions of votes).
+        """
+        if not getattr(protocol, "declarative_grants", False):
+            return
+        try:
+            read_mask, write_mask = protocol.grant_masks(tracker)
+        except Exception:
+            return  # already recorded as grant-evaluation
+        read_mask = np.asarray(read_mask, dtype=bool)
+        write_mask = np.asarray(write_mask, dtype=bool)
+        observed = []  # (assignment, votes, got_read, got_write, members)
+        for members, assignment, votes in self._component_grant_views(tracker, protocol):
+            for op, mask, allowed in (
+                ("read", read_mask, assignment.allows_read(votes)),
+                ("write", write_mask, assignment.allows_write(votes)),
+            ):
+                granted = mask[members]
+                if granted.any() != granted.all():
+                    self.record(
+                        now,
+                        "grant-mask-consistency",
+                        f"{op} grants split within component "
+                        f"{np.asarray(members).tolist()} — members of one "
+                        "component must share one decision",
+                        tracker, protocol,
+                    )
+                elif bool(granted.all()) != bool(allowed):
+                    self.record(
+                        now,
+                        "grant-mask-consistency",
+                        f"{op} mask says {bool(granted.all())} for component "
+                        f"{np.asarray(members).tolist()} but its assignment "
+                        f"{assignment} with {votes} votes says {bool(allowed)}",
+                        tracker, protocol,
+                    )
+            observed.append(
+                (assignment, votes,
+                 bool(read_mask[members].all()), bool(write_mask[members].all()),
+                 members)
+            )
+        for i, (asg_a, votes_a, read_a, write_a, members_a) in enumerate(observed):
+            for asg_b, votes_b, read_b, write_b, members_b in observed[i + 1:]:
+                if asg_a is not asg_b and asg_a != asg_b:
+                    continue
+                # Order so a has no more votes than b.
+                if votes_a > votes_b:
+                    (votes_a2, read_a2, write_a2, members_a2) = (
+                        votes_b, read_b, write_b, members_b)
+                    (votes_b2, read_b2, write_b2, members_b2) = (
+                        votes_a, read_a, write_a, members_a)
+                else:
+                    (votes_a2, read_a2, write_a2, members_a2) = (
+                        votes_a, read_a, write_a, members_a)
+                    (votes_b2, read_b2, write_b2, members_b2) = (
+                        votes_b, read_b, write_b, members_b)
+                for op, lo, hi in (("read", read_a2, read_b2),
+                                   ("write", write_a2, write_b2)):
+                    if lo and not hi:
+                        self.record(
+                            now,
+                            "grant-monotonicity",
+                            f"{op} granted to component "
+                            f"{np.asarray(members_a2).tolist()} with {votes_a2} "
+                            f"votes but denied to "
+                            f"{np.asarray(members_b2).tolist()} with {votes_b2} "
+                            "votes under the same assignment",
+                            tracker, protocol,
+                        )
 
     def _check_versions(self, now, tracker, protocol) -> None:
         versions = getattr(protocol, "site_version", None)

@@ -24,6 +24,11 @@ __all__ = ["QuorumConsensusProtocol"]
 class QuorumConsensusProtocol(ReplicaControlProtocol):
     """Static quorum consensus with a fixed, validated assignment."""
 
+    #: Grants are a pure function of (assignment, component votes), so the
+    #: invariant monitor may replay them against the declared assignment
+    #: (grant-mask-consistency / grant-monotonicity metamorphic checks).
+    declarative_grants = True
+
     def __init__(self, assignment: QuorumAssignment) -> None:
         if not isinstance(assignment, QuorumAssignment):
             raise ProtocolError(

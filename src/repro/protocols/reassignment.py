@@ -40,6 +40,11 @@ __all__ = ["QuorumReassignmentProtocol"]
 class QuorumReassignmentProtocol(ReplicaControlProtocol):
     """Quorum consensus with versioned, dynamically replaceable assignments."""
 
+    #: Grants are a pure function of each component's effective assignment
+    #: and vote total, so the invariant monitor may replay them
+    #: (grant-mask-consistency / grant-monotonicity metamorphic checks).
+    declarative_grants = True
+
     def __init__(self, n_sites: int, initial_assignment: QuorumAssignment) -> None:
         if n_sites <= 0:
             raise ProtocolError(f"need at least one site, got {n_sites}")
@@ -88,6 +93,16 @@ class QuorumReassignmentProtocol(ReplicaControlProtocol):
                 (members, self.site_assignment[int(best)], int(totals[members[0]]))
             )
         return views
+
+    def component_views(
+        self, tracker: ComponentTracker
+    ) -> List[Tuple[np.ndarray, QuorumAssignment, int]]:
+        """Public view of the per-component effective state.
+
+        Consumed by the invariant monitor's metamorphic grant checks and
+        the verification subsystem's protocol differential.
+        """
+        return self._component_views(tracker)
 
     # ------------------------------------------------------------------
     # ReplicaControlProtocol interface

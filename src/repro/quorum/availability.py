@@ -36,15 +36,26 @@ __all__ = [
     "write_availability",
     "availability",
     "availability_curve",
+    "upper_cumulative",
     "AvailabilityModel",
 ]
 
 QuorumLike = Union[int, np.ndarray, Sequence[int]]
 
 
-def _upper_cumulative(density: np.ndarray) -> np.ndarray:
-    """``U[q] = sum_{k >= q} density[k]`` for q in 0..T (length T+1)."""
+def upper_cumulative(density: np.ndarray) -> np.ndarray:
+    """``U[q] = sum_{k >= q} density[k]`` for q in 0..T (length T+1).
+
+    This is the survival function the whole Figure-1 algebra rests on:
+    ``R``, ``W``, and the SURV objective are all upper cumulatives of some
+    vote density. Public so the verification subsystem's metamorphic
+    relations can state identities directly against it.
+    """
     return np.cumsum(density[::-1])[::-1]
+
+
+#: Backwards-compatible private alias.
+_upper_cumulative = upper_cumulative
 
 
 def _check_alpha(alpha: float) -> float:

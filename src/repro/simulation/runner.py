@@ -121,6 +121,18 @@ class SimulationResult:
     def surv_write(self) -> BatchStatistics:
         return self._metric("SURV(write)", lambda b: b.surv_write)
 
+    def surv_statistics(self, alpha: float) -> BatchStatistics:
+        """Access-mix SURV: ``alpha * SURV_read + (1-alpha) * SURV_write``.
+
+        Combined per batch (not on the means), so the batch-means CI is
+        valid for the mixed metric too. The verification subsystem uses
+        this as the SURV counterpart of ACC when cross-checking engines.
+        """
+        return self._metric(
+            f"SURV(alpha={alpha:g})",
+            lambda b: alpha * b.surv_read + (1.0 - alpha) * b.surv_write,
+        )
+
     # ------------------------------------------------------------------
     def density_matrix(self, weighting: str = "time") -> np.ndarray:
         """Pooled empirical ``f_i`` matrix across all batches.

@@ -1,0 +1,255 @@
+"""Verification cases: the parameter points the engines are crossed on.
+
+A :class:`VerificationCase` pins one topology family at one parameter
+point (sites, reliabilities, read fraction, seed) together with the
+budget knobs of the statistical engines. The two built-in profiles trade
+coverage for wall-clock:
+
+- ``quick`` — the tier-2 gate every PR runs: ring/complete/bus small
+  enough for the exact enumeration oracle, simulation pairs on the ring
+  and complete cases. Seconds, not minutes.
+- ``full`` — adds larger networks (where enumeration tops out and the
+  statistical engines carry the check alone), a bus simulation with
+  heterogeneous per-component failure rates, and a paper-parameter
+  101-site ring.
+
+Simulation-backed checks use the ``stationary`` initial state (no
+warm-up bias at any access budget) and ``expected`` accounting
+(variance-reduced, unbiased for ACC) so the batch CIs — and therefore
+the derived tolerances — stay as tight as the access budget allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analytic import CLOSED_FORM_FAMILIES
+from repro.errors import VerificationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.workload import AccessWorkload
+from repro.topology.generators import bus, fully_connected, ring
+from repro.topology.model import Topology
+
+__all__ = ["VerificationCase", "PROFILES", "profile_cases"]
+
+#: Mean time-to-failure of every fallible component in verification
+#: simulations. Short relative to the batch horizon so each batch sees
+#: many failure/repair epochs (tighter batch CIs), long enough that the
+#: epoch dynamics still resemble the paper's regime.
+_SIM_MTTF = 30.0
+
+
+@dataclass(frozen=True)
+class VerificationCase:
+    """One cross-engine comparison point.
+
+    ``n_sites`` counts voting sites; the bus family adds its zero-vote
+    hub on top. ``read_quorums`` are the quorums whose availability is
+    compared across model-producing engines. ``sim_read_quorum`` selects
+    the quorum-consensus protocol simulated for the simulation-backed
+    pairs (``None`` skips those pairs — e.g. when a case only exists to
+    cross the analytic engines at scale).
+    """
+
+    name: str
+    family: str
+    n_sites: int
+    p: float
+    r: float
+    alpha: float
+    read_quorums: Tuple[int, ...]
+    sim_read_quorum: Optional[int] = None
+    seed: int = 0
+    mc_samples: int = 4_000
+    sim_accesses: float = 4_000.0
+    sim_batches: int = 5
+    protocol_states: int = 200
+
+    def __post_init__(self) -> None:
+        if self.family not in CLOSED_FORM_FAMILIES:
+            raise VerificationError(
+                f"unknown case family {self.family!r}; choose from "
+                f"{CLOSED_FORM_FAMILIES}"
+            )
+        T = self.n_sites
+        if not self.read_quorums:
+            raise VerificationError(f"case {self.name}: no read quorums to compare")
+        for q in self.read_quorums:
+            if not 1 <= q <= T:
+                raise VerificationError(
+                    f"case {self.name}: read quorum {q} outside 1..{T}"
+                )
+        if self.sim_read_quorum is not None and not (
+            1 <= self.sim_read_quorum <= max(T // 2, 1)
+        ):
+            raise VerificationError(
+                f"case {self.name}: sim_read_quorum {self.sim_read_quorum} "
+                f"outside 1..floor(T/2) = 1..{max(T // 2, 1)}"
+            )
+        for label, value in (("p", self.p), ("r", self.r), ("alpha", self.alpha)):
+            if not 0.0 <= value <= 1.0:
+                raise VerificationError(
+                    f"case {self.name}: {label} must be in [0, 1], got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_votes(self) -> int:
+        """One vote per real site; the bus hub carries zero."""
+        return self.n_sites
+
+    def topology(self) -> Topology:
+        if self.family == "ring":
+            return ring(self.n_sites)
+        if self.family == "complete":
+            return fully_connected(self.n_sites)
+        return bus(self.n_sites)
+
+    def site_reliabilities(self) -> np.ndarray:
+        """Per-site stationary reliabilities for enumeration/Monte-Carlo.
+
+        The bus hub site *is* the bus: its reliability is ``r``.
+        """
+        if self.family == "bus":
+            return np.concatenate([np.full(self.n_sites, self.p), [self.r]])
+        return np.full(self.n_sites, self.p)
+
+    def link_reliabilities(self) -> np.ndarray:
+        """Per-link reliabilities; bus spokes are perfect by construction."""
+        topology = self.topology()
+        if self.family == "bus":
+            return np.ones(topology.n_links)
+        return np.full(topology.n_links, self.r)
+
+    # ------------------------------------------------------------------
+    def simulation_config(self) -> SimulationConfig:
+        """The stationary, variance-reduced config the sim pairs run on."""
+        topology = self.topology()
+        n_components = topology.n_sites + topology.n_links
+        site_rel = self.site_reliabilities()
+        link_rel = self.link_reliabilities()
+        def repair_times(rel: np.ndarray) -> np.ndarray:
+            # Vectorized reliability_to_repair_time; perfect components
+            # get a placeholder (they are masked out of the fallible set,
+            # but config validation still demands a positive mean).
+            safe = np.clip(rel, 1e-12, 1.0 - 1e-12)
+            out = _SIM_MTTF * (1.0 - safe) / safe
+            return np.where(rel >= 1.0, 1.0, out)
+
+        mttf = np.full(n_components, _SIM_MTTF)
+        mttr = np.concatenate([repair_times(site_rel), repair_times(link_rel)])
+        perfect_links = link_rel >= 1.0
+        fallible_links = None if not perfect_links.all() else np.zeros(
+            topology.n_links, dtype=bool
+        )
+        workload = AccessWorkload.uniform(topology.n_sites, alpha=self.alpha)
+        return SimulationConfig(
+            topology=topology,
+            workload=workload,
+            mean_time_to_failure=mttf,
+            mean_time_to_repair=mttr,
+            warmup_accesses=0.0,
+            accesses_per_batch=self.sim_accesses,
+            n_batches=self.sim_batches,
+            accounting="expected",
+            initial_state="stationary",
+            fallible_links=fallible_links,
+            seed=self.seed,
+        )
+
+
+def _quick_cases() -> Tuple[VerificationCase, ...]:
+    return (
+        # Sized so exhaustive enumeration stays ~2^15 states: the quick
+        # profile is a per-PR gate and must run in seconds.
+        VerificationCase(
+            name="ring-7",
+            family="ring",
+            n_sites=7,
+            p=0.90,
+            r=0.85,
+            alpha=0.6,
+            read_quorums=(1, 2, 3),
+            sim_read_quorum=2,
+        ),
+        VerificationCase(
+            name="complete-5",
+            family="complete",
+            n_sites=5,
+            p=0.85,
+            r=0.80,
+            alpha=0.4,
+            read_quorums=(1, 2),
+            sim_read_quorum=2,
+        ),
+        VerificationCase(
+            name="bus-7",
+            family="bus",
+            n_sites=7,
+            p=0.90,
+            r=0.75,
+            alpha=0.5,
+            read_quorums=(1, 2, 3),
+        ),
+    )
+
+
+def _full_cases() -> Tuple[VerificationCase, ...]:
+    return _quick_cases() + (
+        # Beyond the enumeration cap: Monte-Carlo and the simulator carry
+        # the cross-check alone.
+        VerificationCase(
+            name="ring-15",
+            family="ring",
+            n_sites=15,
+            p=0.96,
+            r=0.96,
+            alpha=0.75,
+            read_quorums=(1, 2, 4, 7),
+            sim_read_quorum=2,
+            mc_samples=10_000,
+            sim_accesses=8_000.0,
+        ),
+        # Bus with a live simulation: heterogeneous per-component failure
+        # rates and the zero-vote hub exercise the vector config path.
+        VerificationCase(
+            name="bus-8-sim",
+            family="bus",
+            n_sites=8,
+            p=0.90,
+            r=0.80,
+            alpha=0.5,
+            read_quorums=(1, 2, 4),
+            sim_read_quorum=2,
+            mc_samples=8_000,
+            sim_accesses=8_000.0,
+        ),
+        # Paper-parameter ring at full size (closed form vs Monte-Carlo).
+        VerificationCase(
+            name="ring-101-paper",
+            family="ring",
+            n_sites=101,
+            p=0.96,
+            r=0.96,
+            alpha=0.5,
+            read_quorums=(1, 2, 25, 50),
+            mc_samples=6_000,
+        ),
+    )
+
+
+PROFILES = ("quick", "full")
+
+
+def profile_cases(profile: str) -> Tuple[VerificationCase, ...]:
+    """The case list for a named profile."""
+    if profile == "quick":
+        return _quick_cases()
+    if profile == "full":
+        return _full_cases()
+    raise VerificationError(
+        f"unknown verification profile {profile!r}; choose from {PROFILES}"
+    )

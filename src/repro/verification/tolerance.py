@@ -1,0 +1,179 @@
+"""Confidence-interval-aware tolerances for differential checks.
+
+The engines being cross-checked deliver estimates of very different
+precision: closed forms and state enumeration are exact to float
+round-off, the Monte-Carlo estimator carries a ``O(1/sqrt(n))`` binomial
+error, and the simulator's batch means carry a Student-t interval.
+Comparing them with one ad-hoc ``approx`` constant either masks real
+divergences (constant too loose for the exact pair) or flakes (constant
+too tight for the statistical pair).
+
+Instead, every engine reports an :class:`Estimate` = value + 95 % CI
+half-width (0 for exact engines), and :func:`compare` derives the
+acceptance band from the *pair*:
+
+    tolerance = slack * sqrt(hw_a^2 + hw_b^2) + abs_floor
+
+The quadrature term is the half-width of the CI on the *difference* of
+two independent estimates; ``slack`` widens the 1.96-sigma band to
+roughly five sigma so that a passing check is overwhelmingly likely to
+keep passing under reseeding, and ``abs_floor`` absorbs float round-off
+(and, for the simulator, the residual bias of finite warm-up). The
+resulting :class:`CheckResult` carries the drift as a fraction of
+tolerance, so regression reports can say "metric X moved to 0.7 of its
+band" rather than a bare pass/fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Optional
+
+from repro.errors import VerificationError
+
+__all__ = [
+    "Estimate",
+    "CheckResult",
+    "binomial_half_width",
+    "students_t_estimate",
+    "compare",
+    "DEFAULT_SLACK",
+    "EXACT_FLOOR",
+]
+
+#: Widen the 1.96-sigma difference CI to ~5 sigma: statistical checks
+#: that pass keep passing under reseeding with overwhelming probability.
+DEFAULT_SLACK = 2.5
+
+#: Absolute floor for exact-vs-exact comparisons (float accumulation
+#: across ~2^24 enumeration terms stays far below this).
+EXACT_FLOOR = 1e-9
+
+#: 95 % two-sided normal quantile.
+_Z95 = 1.959963984540054
+
+
+def binomial_half_width(p_hat: float, n: float) -> float:
+    """95 % normal-approximation half-width of a mean of ``n`` draws in [0, 1].
+
+    Conservative for availability estimates that average a bounded
+    per-sample statistic (each Monte-Carlo state contributes a value in
+    ``[0, 1]``, whose variance is at most ``p(1-p) <= 1/4``). A small
+    additive continuity floor keeps the width honest near 0 and 1, where
+    the normal approximation degenerates.
+    """
+    if n <= 0:
+        raise VerificationError(f"sample size must be positive, got {n}")
+    p = min(max(float(p_hat), 0.0), 1.0)
+    return _Z95 * sqrt(p * (1.0 - p) / n) + 1.0 / n
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One engine's value for one metric, with its uncertainty.
+
+    ``half_width`` is the 95 % CI half-width; 0 marks an exact value.
+    ``n`` records the sample/batch count behind a statistical estimate
+    (reporting only — the half-width already accounts for it).
+    """
+
+    value: float
+    half_width: float = 0.0
+    n: Optional[float] = None
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.half_width < 0:
+            raise VerificationError(
+                f"half_width must be non-negative, got {self.half_width}"
+            )
+
+    @property
+    def exact(self) -> bool:
+        return self.half_width == 0.0
+
+
+def students_t_estimate(stats, source: str = "") -> Estimate:
+    """Adapt a :class:`~repro.simulation.stats.BatchStatistics` to an Estimate.
+
+    With fewer than two batches the t half-width is undefined (reported
+    as 0); callers comparing such runs should rely on the comparison's
+    absolute floor.
+    """
+    return Estimate(
+        value=float(stats.mean),
+        half_width=float(stats.half_width),
+        n=float(stats.n_batches),
+        source=source or stats.name,
+    )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one differential check on one metric."""
+
+    #: Engine pair or relation name, e.g. ``"closed-form|monte-carlo"``.
+    check: str
+    #: Verification case the check ran on, e.g. ``"ring-9"``.
+    case: str
+    #: Metric compared, e.g. ``"A(alpha=0.6, q_r=2)"``.
+    metric: str
+    value_a: float
+    value_b: float
+    tolerance: float
+    passed: bool
+    #: |value_a - value_b|.
+    diff: float
+    #: diff / tolerance — the per-metric drift figure regression reports
+    #: track (inf when tolerance is 0 and the values differ).
+    drift: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.case} :: {self.check} :: {self.metric}: "
+            f"{self.value_a:.6g} vs {self.value_b:.6g} "
+            f"(diff {self.diff:.3g}, tol {self.tolerance:.3g}, "
+            f"drift {self.drift:.2f})"
+        )
+
+
+def compare(
+    check: str,
+    case: str,
+    metric: str,
+    a: Estimate,
+    b: Estimate,
+    abs_floor: float = EXACT_FLOOR,
+    slack: float = DEFAULT_SLACK,
+    detail: str = "",
+) -> CheckResult:
+    """Build the CI-aware verdict for one metric across two engines.
+
+    ``abs_floor`` may be raised per pair (e.g. the simulator carries a
+    residual model-vs-measurement floor beyond its batch CI); it may also
+    be 0 together with two exact estimates to demand bitwise equality
+    (the simulation-vs-parallel determinism contract).
+    """
+    if abs_floor < 0 or slack < 0:
+        raise VerificationError("abs_floor and slack must be non-negative")
+    diff = abs(float(a.value) - float(b.value))
+    tolerance = slack * sqrt(a.half_width**2 + b.half_width**2) + abs_floor
+    if tolerance > 0:
+        drift = diff / tolerance
+    else:
+        drift = 0.0 if diff == 0.0 else float("inf")
+    return CheckResult(
+        check=check,
+        case=case,
+        metric=metric,
+        value_a=float(a.value),
+        value_b=float(b.value),
+        tolerance=tolerance,
+        passed=diff <= tolerance,
+        diff=diff,
+        drift=drift,
+        detail=detail,
+    )

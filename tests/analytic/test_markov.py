@@ -106,6 +106,7 @@ class TestDynamicVotingExact:
         assert surv_r == pytest.approx(surv_w)  # reads = writes here
         assert 0.5 < surv_w <= 1.0
 
+    @pytest.mark.slow
     def test_exact_matches_simulation(self, chain):
         """The headline cross-check: the simulator's dynamic-voting ACC
         must converge to the CTMC's exact value."""

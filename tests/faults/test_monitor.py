@@ -118,6 +118,99 @@ class TestBehavioralChecks:
         assert [v.rule for v in monitor.violations] == ["grant-evaluation"]
 
 
+class TestMetamorphicGrantChecks:
+    """The declarative-grant replay added with the verification subsystem."""
+
+    def uneven_split(self, topo, state):
+        """Partition a 6-ring into {0,1,2,3} (4 votes) and {4,5} (2 votes)."""
+        state.fail_link(topo.link_id(3, 4))
+        state.fail_link(topo.link_id(5, 0))
+
+    def test_healthy_declarative_protocols_stay_quiet(self, network):
+        topo, state, tracker = network
+        self.uneven_split(topo, state)
+        monitor = InvariantMonitor()
+        monitor.observe(0.0, tracker,
+                        QuorumConsensusProtocol(QuorumAssignment.majority(6)))
+        qr = QuorumReassignmentProtocol(6, QuorumAssignment.majority(6))
+        qr.on_network_change(tracker)
+        monitor.observe(1.0, tracker, qr)
+        assert monitor.ok
+
+    def test_mask_contradicting_assignment_detected(self, network):
+        topo, state, tracker = network
+
+        class Lying(QuorumConsensusProtocol):
+            def grant_masks(self, tracker):
+                read_mask, write_mask = super().grant_masks(tracker)
+                return read_mask, ~write_mask  # deny what the assignment allows
+
+        monitor = InvariantMonitor()
+        monitor.observe(2.0, tracker, Lying(QuorumAssignment.majority(6)))
+        assert any(v.rule == "grant-mask-consistency" for v in monitor.violations)
+
+    def test_split_decision_within_component_detected(self, network):
+        topo, state, tracker = network
+
+        class HalfGranting(QuorumConsensusProtocol):
+            def grant_masks(self, tracker):
+                read_mask, write_mask = super().grant_masks(tracker)
+                read_mask = read_mask.copy()
+                read_mask[0] = not read_mask[0]  # one member disagrees
+                return read_mask, write_mask
+
+        monitor = InvariantMonitor()
+        monitor.observe(3.0, tracker, HalfGranting(QuorumAssignment.majority(6)))
+        consistency = [v for v in monitor.violations
+                       if v.rule == "grant-mask-consistency"]
+        assert consistency
+        assert "split within component" in consistency[0].detail
+
+    def test_grant_monotonicity_violation_detected(self, network):
+        topo, state, tracker = network
+        self.uneven_split(topo, state)
+
+        class Inverted(QuorumConsensusProtocol):
+            """Grants reads to the poorer component, denies the richer."""
+
+            def grant_masks(self, tracker):
+                totals = tracker.vote_totals
+                read_mask = totals == 2  # only the 2-vote component
+                write_mask = np.zeros(6, dtype=bool)
+                return read_mask, write_mask
+
+        monitor = InvariantMonitor()
+        monitor.observe(4.0, tracker,
+                        Inverted(QuorumAssignment.from_read_quorum(6, 3)))
+        rules = {v.rule for v in monitor.violations}
+        assert "grant-monotonicity" in rules
+
+    def test_non_declarative_protocols_are_skipped(self, network):
+        topo, state, tracker = network
+        # _MaskProtocol makes no declarative_grants claim, so arbitrary
+        # masks must not be replayed against any assignment.
+        nothing = np.zeros(6, dtype=bool)
+        monitor = InvariantMonitor()
+        monitor.observe(5.0, tracker, _MaskProtocol(nothing, nothing))
+        assert not any(v.rule.startswith("grant-mask") for v in monitor.violations)
+        assert not any(v.rule == "grant-monotonicity" for v in monitor.violations)
+
+    def test_qr_corrupted_mask_detected(self, network):
+        topo, state, tracker = network
+        self.uneven_split(topo, state)
+
+        class LyingQR(QuorumReassignmentProtocol):
+            def grant_masks(self, tracker):
+                read_mask, write_mask = super().grant_masks(tracker)
+                return read_mask, ~write_mask
+
+        protocol = LyingQR(6, QuorumAssignment.majority(6))
+        protocol.on_network_change(tracker)
+        monitor = InvariantMonitor()
+        monitor.observe(6.0, tracker, protocol)
+        assert any(v.rule == "grant-mask-consistency" for v in monitor.violations)
+
+
 class TestVersionChecks:
     def test_stale_assignment_grant_detected(self, network):
         topo, state, tracker = network

@@ -1,0 +1,170 @@
+"""Hypothesis property tests for the metamorphic relations.
+
+The executable relations in :mod:`repro.verification.metamorphic` run at
+fixed parameter points inside ``repro verify``; here Hypothesis drives
+the same identities across randomly drawn families, sizes,
+reliabilities, and access mixes, so a violation that only appears at an
+odd parameter corner still gets caught.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import closed_form_density
+from repro.analytic.enumeration import enumerate_density_matrix
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.topology.generators import ring
+from repro.topology.model import Topology
+from repro.verification.cases import VerificationCase
+from repro.verification.metamorphic import METAMORPHIC_RELATIONS, run_metamorphic
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps with enumeration oracles
+
+families = st.sampled_from(["ring", "complete", "bus"])
+sizes = st.integers(min_value=3, max_value=12)
+probs = st.floats(min_value=0.05, max_value=0.99, allow_nan=False)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _model(family, n, p, r):
+    row = closed_form_density(family, n, p, r)
+    return AvailabilityModel(row, row)
+
+
+class TestReliabilityMonotonicity:
+    @given(families, sizes, probs, probs, probs, alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_site_reliability(self, family, n, p1, p2, r, alpha):
+        lo, hi = sorted((p1, p2))
+        curve_lo = _model(family, n, lo, r).curve(alpha)
+        curve_hi = _model(family, n, hi, r).curve(alpha)
+        assert (curve_hi - curve_lo >= -1e-12).all()
+
+    @given(families, sizes, probs, probs, probs, alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_link_reliability(self, family, n, p, r1, r2, alpha):
+        lo, hi = sorted((r1, r2))
+        curve_lo = _model(family, n, p, lo).curve(alpha)
+        curve_hi = _model(family, n, p, hi).curve(alpha)
+        assert (curve_hi - curve_lo >= -1e-12).all()
+
+
+class TestAlphaSymmetry:
+    @given(families, sizes, probs, probs, alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_read_write_swap_is_identity(self, family, n, p, r, alpha):
+        model = _model(family, n, p, r)
+        T = model.total_votes
+        quorums = np.arange(1, T + 1)
+        forward = np.asarray(model.availability(alpha, quorums))
+        mirrored = np.asarray(model.availability(1.0 - alpha, T - quorums + 1))
+        assert forward == pytest.approx(mirrored, abs=1e-12)
+
+
+class TestAlphaExtremes:
+    @given(families, sizes, probs, probs)
+    @settings(max_examples=40, deadline=None)
+    def test_pure_reads_degenerate_to_rowa(self, family, n, p, r):
+        model = _model(family, n, p, r)
+        quorums = model.feasible_read_quorums()
+        # The objective collapses to R(q_r) alone...
+        assert np.asarray(model.availability(1.0, quorums)) == pytest.approx(
+            np.asarray(model.read_availability(quorums)), abs=1e-12
+        )
+        # ...whose optimum is the ROWA assignment q_r = 1, q_w = T.
+        best = optimal_read_quorum(model, 1.0)
+        assert best.read_quorum == 1
+        assert best.write_quorum == model.total_votes
+        assert best.availability == pytest.approx(
+            float(model.read_availability(1)), abs=1e-12
+        )
+
+    @given(families, sizes, probs, probs)
+    @settings(max_examples=40, deadline=None)
+    def test_pure_writes_ignore_the_read_density(self, family, n, p, r):
+        model = _model(family, n, p, r)
+        quorums = model.feasible_read_quorums()
+        assert np.asarray(model.availability(0.0, quorums)) == pytest.approx(
+            np.asarray(model.write_availability_at(quorums)), abs=1e-12
+        )
+        best = optimal_read_quorum(model, 0.0)
+        assert best.availability == pytest.approx(
+            float(model.write_availability_at(model.max_read_quorum)), abs=1e-12
+        )
+
+
+class TestRelabelingInvariance:
+    @given(
+        st.integers(min_value=4, max_value=6),
+        st.lists(probs, min_size=6, max_size=6),
+        probs,
+        alphas,
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_enumeration_and_optimizer_survive_relabeling(
+        self, n, site_ps, r, alpha, rnd
+    ):
+        topology = ring(n)
+        site_rel = np.asarray(site_ps[:n])
+        link_rel = np.full(topology.n_links, r)
+        perm = list(range(n))
+        rnd.shuffle(perm)
+        perm = np.asarray(perm)
+
+        permuted = Topology(
+            n, [(int(perm[l.a]), int(perm[l.b])) for l in topology.links]
+        )
+        site_rel_perm = np.empty_like(site_rel)
+        site_rel_perm[perm] = site_rel
+        link_rel_perm = np.empty(permuted.n_links)
+        for link in topology.links:
+            target = permuted.link_id(int(perm[link.a]), int(perm[link.b]))
+            link_rel_perm[target] = link_rel[topology.link_id(link.a, link.b)]
+
+        matrix = enumerate_density_matrix(topology, site_rel, link_rel)
+        matrix_perm = enumerate_density_matrix(
+            permuted, site_rel_perm, link_rel_perm
+        )
+        assert matrix_perm[perm] == pytest.approx(matrix, abs=1e-12)
+
+        best = optimal_read_quorum(
+            AvailabilityModel.from_density_matrix(matrix), alpha
+        )
+        best_perm = optimal_read_quorum(
+            AvailabilityModel.from_density_matrix(matrix_perm), alpha
+        )
+        assert best.read_quorum == best_perm.read_quorum
+        assert best.availability == pytest.approx(
+            best_perm.availability, abs=1e-12
+        )
+
+
+class TestExecutableRelationLibrary:
+    """The packaged relations agree with the raw properties above."""
+
+    @given(families, st.integers(min_value=4, max_value=9), probs, probs, alphas)
+    @settings(max_examples=10, deadline=None)
+    def test_all_relations_pass_on_healthy_code(self, family, n, p, r, alpha):
+        case = VerificationCase(
+            name=f"prop-{family}-{n}", family=family, n_sites=n,
+            p=p, r=r, alpha=alpha, read_quorums=(1,),
+        )
+        results = run_metamorphic(case)
+        assert {r_.check for r_ in results} == set(METAMORPHIC_RELATIONS)
+        failures = [str(r_) for r_ in results if not r_.passed]
+        assert not failures, "\n".join(failures)
+
+    @given(st.integers(min_value=4, max_value=9), probs, probs, alphas)
+    @settings(max_examples=10, deadline=None)
+    def test_off_by_one_breaks_symmetry_everywhere(self, n, p, r, alpha):
+        case = VerificationCase(
+            name=f"prop-ring-{n}", family="ring", n_sites=n,
+            p=p, r=r, alpha=alpha, read_quorums=(1,),
+        )
+        results = run_metamorphic(case, bug="quorum-off-by-one")
+        failed = {r_.check for r_ in results if not r_.passed}
+        assert "alpha-symmetry" in failed

@@ -200,6 +200,122 @@ class TestValidate:
         assert "REPRODUCTION VALID" in out
 
 
+class TestErrorPaths:
+    """Malformed invocations must exit 2 with a clean one-line error."""
+
+    def test_simulate_rejects_zero_workers(self, capsys):
+        code, _, err = run_cli(
+            capsys, "simulate", "--scale", "test", "--workers", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_simulate_rejects_negative_workers(self, capsys):
+        code, _, err = run_cli(
+            capsys, "simulate", "--scale", "test", "--workers", "-3",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_chaos_rejects_zero_workers(self, capsys):
+        code, _, err = run_cli(
+            capsys, "chaos", "--scale", "test", "--batches", "1",
+            "--workers", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_metrics_missing_path_is_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "metrics", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "no telemetry stream" in err
+        assert "--telemetry" in err
+
+    def test_metrics_missing_directory_resolves_events_file(self, capsys,
+                                                            tmp_path):
+        # A directory without events.jsonl (e.g. a mistyped --telemetry-dir)
+        # must name the file it looked for, not traceback.
+        code, _, err = run_cli(capsys, "metrics", str(tmp_path))
+        assert code == 2
+        assert "events.jsonl" in err
+
+
+class TestVerify:
+    """Exit-code contract: 0 = pass, 1 = divergence, 2 = config error."""
+
+    def _fake_report(self, passed):
+        class FakeReport:
+            def summary(self, drift_top=5):
+                return "fake verification summary"
+
+        report = FakeReport()
+        report.passed = passed
+        return report
+
+    def test_pass_maps_to_exit_zero(self, capsys, monkeypatch):
+        import repro.verification
+
+        monkeypatch.setattr(
+            repro.verification, "run_profile",
+            lambda profile, bug=None, golden=True: self._fake_report(True),
+        )
+        code, out, _ = run_cli(capsys, "verify")
+        assert code == 0
+        assert "fake verification summary" in out
+
+    def test_divergence_maps_to_exit_one(self, capsys, monkeypatch):
+        import repro.verification
+
+        monkeypatch.setattr(
+            repro.verification, "run_profile",
+            lambda profile, bug=None, golden=True: self._fake_report(False),
+        )
+        code, _, _ = run_cli(capsys, "verify")
+        assert code == 1
+
+    def test_unknown_bug_is_config_error(self, capsys):
+        code, _, err = run_cli(capsys, "verify", "--inject-bug", "no-such-bug")
+        assert code == 2
+        assert "unknown bug injection" in err
+
+    def test_unknown_profile_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--profile", "exhaustive"])
+
+    def test_regenerate_golden_writes_corpus(self, capsys, monkeypatch,
+                                             tmp_path):
+        import repro.verification
+
+        target = tmp_path / "corpus.json"
+        monkeypatch.setattr(
+            repro.verification, "write_corpus",
+            lambda: (target.write_text("{}"), target)[1],
+        )
+        code, out, _ = run_cli(capsys, "verify", "--regenerate-golden")
+        assert code == 0
+        assert "regenerated" in out
+        assert target.exists()
+
+    @pytest.mark.slow
+    def test_real_quick_profile_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "verify", "--profile", "quick")
+        assert code == 0
+        assert "0 failed" in out
+        assert "engine pairs (7)" in out
+
+    @pytest.mark.slow
+    def test_real_injected_off_by_one_exits_one(self, capsys):
+        # The acceptance demonstration: the same battery that passes on
+        # main must fail loudly when a quorum threshold is off by one.
+        code, out, _ = run_cli(
+            capsys, "verify", "--profile", "quick", "--no-golden",
+            "--inject-bug", "quorum-off-by-one",
+        )
+        assert code == 1
+        assert "quorum-off-by-one" in out
+        assert "FAIL" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,137 @@
+"""The golden corpus gate: locked reference values must not drift.
+
+If an intentional behavior change fails these tests, regenerate the
+corpus with ``python -m repro verify --regenerate-golden`` and review
+the resulting diff — the whole point is that reference values only move
+inside a reviewed commit.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verification.golden import (
+    CORPUS_VERSION,
+    REGENERATE_HINT,
+    check_corpus,
+    corpus_path,
+    generate_corpus,
+    load_corpus,
+    write_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_results():
+    return check_corpus()
+
+
+class TestLockedCorpus:
+    def test_corpus_is_committed(self):
+        assert corpus_path().exists(), (
+            f"golden corpus missing from the repository; {REGENERATE_HINT}"
+        )
+
+    def test_corpus_loads_and_validates(self):
+        corpus = load_corpus()
+        assert corpus["version"] == CORPUS_VERSION
+        assert len(corpus["entries"]) >= 15
+
+    def test_no_drift_against_current_code(self, corpus_results):
+        failures = [r for r in corpus_results if not r.passed]
+        report = "\n".join(str(r) + "\n    " + r.detail for r in failures)
+        assert not failures, (
+            f"golden corpus drift detected:\n{report}"
+        )
+
+    def test_covers_paper_figures_and_both_engines(self):
+        corpus = load_corpus()
+        kinds = {e["kind"] for e in corpus["entries"]}
+        assert kinds == {"closed-form", "monte-carlo", "simulation"}
+        names = {e["name"] for e in corpus["entries"]}
+        # Paper-parameter entries for every family at every paper alpha.
+        for family in ("ring", "complete", "bus"):
+            for alpha in ("0", "0.25", "0.5", "0.75", "1"):
+                assert f"paper-{family}-alpha-{alpha}" in names
+
+    def test_drift_metric_reported_per_check(self, corpus_results):
+        assert all(r.check == "golden-corpus" for r in corpus_results)
+        assert all(r.drift >= 0.0 for r in corpus_results)
+
+    def test_generation_is_deterministic(self):
+        a = generate_corpus()
+        b = generate_corpus()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestDriftDetection:
+    def test_perturbed_metric_fails_with_regeneration_hint(self, tmp_path):
+        corpus = load_corpus()
+        entry = corpus["entries"][0]
+        metric = sorted(entry["metrics"])[0]
+        entry["metrics"][metric] += 5e-3
+        tampered = tmp_path / "corpus.json"
+        tampered.write_text(json.dumps(corpus))
+        failures = [r for r in check_corpus(tampered) if not r.passed]
+        assert len(failures) == 1
+        assert failures[0].case == entry["name"]
+        assert failures[0].metric == metric
+        assert "--regenerate-golden" in failures[0].detail
+
+    def test_missing_metric_is_structural_failure(self, tmp_path):
+        corpus = load_corpus()
+        entry = corpus["entries"][0]
+        removed = sorted(entry["metrics"])[0]
+        del entry["metrics"][removed]
+        tampered = tmp_path / "corpus.json"
+        tampered.write_text(json.dumps(corpus))
+        failures = [r for r in check_corpus(tampered) if not r.passed]
+        assert len(failures) == 1
+        assert removed in failures[0].detail
+        assert "--regenerate-golden" in failures[0].detail
+
+    def test_stale_extra_entry_is_reported(self, tmp_path):
+        corpus = load_corpus()
+        corpus["entries"].append({
+            "name": "removed-experiment",
+            "kind": "closed-form",
+            "tolerance": 1e-9,
+            "metrics": {"A*": 0.5},
+        })
+        tampered = tmp_path / "corpus.json"
+        tampered.write_text(json.dumps(corpus))
+        failures = [r for r in check_corpus(tampered) if not r.passed]
+        assert [r.case for r in failures] == ["removed-experiment"]
+        assert "no longer generated" in failures[0].detail
+
+
+class TestCorpusIO:
+    def test_missing_file_names_the_fix(self, tmp_path):
+        with pytest.raises(VerificationError, match="--regenerate-golden"):
+            load_corpus(tmp_path / "nope.json")
+
+    def test_invalid_json_names_the_fix(self, tmp_path):
+        bad = tmp_path / "corpus.json"
+        bad.write_text("{not json")
+        with pytest.raises(VerificationError, match="--regenerate-golden"):
+            load_corpus(bad)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = tmp_path / "corpus.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(VerificationError, match="version"):
+            load_corpus(bad)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        bad = tmp_path / "corpus.json"
+        bad.write_text(json.dumps(
+            {"version": CORPUS_VERSION, "entries": [{"name": "x"}]}
+        ))
+        with pytest.raises(VerificationError, match="malformed"):
+            load_corpus(bad)
+
+    def test_write_then_check_round_trips(self, tmp_path):
+        path = write_corpus(tmp_path / "fresh" / "corpus.json")
+        assert path.exists()
+        assert all(r.passed for r in check_corpus(path))

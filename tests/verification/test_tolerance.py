@@ -1,0 +1,112 @@
+"""Unit tests for the CI-aware tolerance layer."""
+
+import math
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verification.tolerance import (
+    DEFAULT_SLACK,
+    EXACT_FLOOR,
+    CheckResult,
+    Estimate,
+    binomial_half_width,
+    compare,
+    students_t_estimate,
+)
+
+
+class TestBinomialHalfWidth:
+    def test_shrinks_with_samples(self):
+        assert binomial_half_width(0.5, 10_000) < binomial_half_width(0.5, 100)
+
+    def test_widest_at_half(self):
+        assert binomial_half_width(0.5, 1000) > binomial_half_width(0.05, 1000)
+
+    def test_positive_even_at_extremes(self):
+        # The continuity floor keeps degenerate p honest.
+        assert binomial_half_width(0.0, 1000) == pytest.approx(1e-3)
+        assert binomial_half_width(1.0, 1000) == pytest.approx(1e-3)
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(VerificationError):
+            binomial_half_width(0.5, 0)
+
+    def test_matches_normal_formula(self):
+        n, p = 4000, 0.3
+        expected = 1.959963984540054 * math.sqrt(p * (1 - p) / n) + 1 / n
+        assert binomial_half_width(p, n) == pytest.approx(expected)
+
+
+class TestEstimate:
+    def test_exact_flag(self):
+        assert Estimate(0.5).exact
+        assert not Estimate(0.5, half_width=0.01).exact
+
+    def test_rejects_negative_half_width(self):
+        with pytest.raises(VerificationError):
+            Estimate(0.5, half_width=-1e-3)
+
+    def test_students_t_adapter(self):
+        class FakeStats:
+            mean = 0.75
+            half_width = 0.02
+            n_batches = 6
+            name = "ACC"
+
+        est = students_t_estimate(FakeStats())
+        assert est.value == 0.75
+        assert est.half_width == 0.02
+        assert est.n == 6
+        assert est.source == "ACC"
+        assert students_t_estimate(FakeStats(), source="sim").source == "sim"
+
+
+class TestCompare:
+    def test_exact_pair_passes_within_floor(self):
+        r = compare("a|b", "case", "m", Estimate(0.5), Estimate(0.5 + 1e-12))
+        assert r.passed
+        assert r.tolerance == EXACT_FLOOR
+
+    def test_exact_pair_fails_beyond_floor(self):
+        r = compare("a|b", "case", "m", Estimate(0.5), Estimate(0.5001))
+        assert not r.passed
+        assert r.drift > 1.0
+
+    def test_quadrature_tolerance(self):
+        a = Estimate(0.5, half_width=0.03)
+        b = Estimate(0.5, half_width=0.04)
+        r = compare("a|b", "case", "m", a, b)
+        assert r.tolerance == pytest.approx(DEFAULT_SLACK * 0.05 + EXACT_FLOOR)
+
+    def test_statistical_pair_absorbs_noise(self):
+        a = Estimate(0.50, half_width=0.02)
+        b = Estimate(0.52, half_width=0.02)
+        assert compare("a|b", "case", "m", a, b).passed
+
+    def test_bitwise_mode(self):
+        same = compare("s|p", "case", "m", Estimate(0.5), Estimate(0.5),
+                       abs_floor=0.0)
+        assert same.passed and same.drift == 0.0
+        diff = compare("s|p", "case", "m", Estimate(0.5), Estimate(0.5 + 1e-16),
+                       abs_floor=0.0)
+        assert not diff.passed
+        assert math.isinf(diff.drift)
+
+    def test_drift_is_fraction_of_band(self):
+        a = Estimate(0.5, half_width=0.02)
+        b = Estimate(0.55, half_width=0.0)
+        r = compare("a|b", "case", "m", a, b)
+        assert r.drift == pytest.approx(0.05 / r.tolerance)
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(VerificationError):
+            compare("a|b", "c", "m", Estimate(0.5), Estimate(0.5), abs_floor=-1)
+        with pytest.raises(VerificationError):
+            compare("a|b", "c", "m", Estimate(0.5), Estimate(0.5), slack=-1)
+
+    def test_str_rendering(self):
+        r = compare("a|b", "ring-7", "A(q=2)", Estimate(0.5), Estimate(0.6))
+        text = str(r)
+        assert "FAIL" in text and "ring-7" in text and "A(q=2)" in text
+        assert isinstance(r, CheckResult)
