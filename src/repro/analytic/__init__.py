@@ -47,18 +47,27 @@ def closed_form_density(family: str, n_sites: int, p: float, r: float):
     the ``sites_need_bus=False`` architecture (sites survive a bus outage
     as singletons), matching the star-through-a-zero-vote-hub encoding the
     enumeration oracle and the simulator use.
+
+    Results are memoized in the cross-layer density cache
+    (:mod:`repro.analytic.cache`), so sweeps, verification engines, and
+    CLI paths that revisit the same ``(family, n, p, r)`` point pay for
+    the recursion once.
     """
+    from repro.analytic import cache as density_cache
     from repro.errors import DensityError
 
     if family == "ring":
-        return ring_density(n_sites, p, r)
-    if family == "complete":
-        return complete_density(n_sites, p, r)
-    if family == "bus":
-        return bus_density(n_sites, p, r, sites_need_bus=False)
-    raise DensityError(
-        f"no closed form for family {family!r}; choose from {CLOSED_FORM_FAMILIES}"
-    )
+        compute = lambda: ring_density(n_sites, p, r)  # noqa: E731
+    elif family == "complete":
+        compute = lambda: complete_density(n_sites, p, r)  # noqa: E731
+    elif family == "bus":
+        compute = lambda: bus_density(n_sites, p, r, sites_need_bus=False)  # noqa: E731
+    else:
+        raise DensityError(
+            f"no closed form for family {family!r}; choose from {CLOSED_FORM_FAMILIES}"
+        )
+    key = density_cache.closed_form_key(family, n_sites, p, r)
+    return density_cache.fetch("closed_form", key, compute)
 
 
 __all__ = [

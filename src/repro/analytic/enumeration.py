@@ -12,6 +12,22 @@ stationary behaviour are all validated against it in the test suite.
 Component reliabilities may be uniform (scalars ``p``, ``r``) or per
 component (arrays), which is how the star-with-perfect-spokes encoding of
 the bus network is enumerated exactly.
+
+Two implementations compute the same matrix (DESIGN.md §10):
+
+``enumerate_density_matrix``
+    the vectorized kernel — generates up/down states in chunks of
+    bit-unpacked numpy masks, computes state probabilities as column-wise
+    product reductions, labels every state of a chunk with one
+    block-diagonal ``connected_components`` call
+    (:func:`~repro.connectivity.components.batched_vote_totals`), and
+    accumulates probabilities with an ordered unbuffered scatter-add.
+    Every floating-point operation is sequenced exactly like the
+    reference loop, so the output is **bitwise identical** to it.
+
+``enumerate_density_matrix_reference``
+    the retained per-state Python loop — the auditable oracle the kernel
+    equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -21,14 +37,27 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.connectivity.components import component_labels, component_vote_totals
+from repro.connectivity.components import (
+    batched_vote_totals,
+    component_labels,
+    component_vote_totals,
+)
 from repro.errors import DensityError, TopologyError
 from repro.topology.model import Topology
 
-__all__ = ["enumerate_density", "enumerate_density_matrix"]
+__all__ = [
+    "enumerate_density",
+    "enumerate_density_matrix",
+    "enumerate_density_matrix_reference",
+]
 
 #: Refuse to enumerate beyond this many fallible components (2^24 states).
 MAX_COMPONENTS = 24
+
+#: States unpacked and labelled per kernel chunk. Large enough that the
+#: per-chunk numpy fixed costs amortize, small enough that the chunk's
+#: mask/label arrays stay cache- and memory-friendly at 2^24 states.
+DEFAULT_CHUNK_SIZE = 8_192
 
 Reliability = Union[float, Sequence[float], np.ndarray]
 
@@ -44,20 +73,12 @@ def _as_reliability_vector(value: Reliability, count: int, label: str) -> np.nda
     return arr
 
 
-def enumerate_density_matrix(
-    topology: Topology,
-    p: Reliability,
-    r: Reliability,
-) -> np.ndarray:
-    """Exact density matrix ``(n_sites, T+1)`` by full state enumeration.
-
-    Components with reliability exactly 0 or 1 are pinned rather than
+def _free_components(
+    topology: Topology, site_rel: np.ndarray, link_rel: np.ndarray
+) -> tuple:
+    """Indices of fallible sites/links; components pinned at 0/1 are not
     enumerated, so a star with perfectly reliable spokes costs only
-    ``2^(n_sites + 1)`` states rather than ``2^(2n + 1)``.
-    """
-    site_rel = _as_reliability_vector(p, topology.n_sites, "site reliability")
-    link_rel = _as_reliability_vector(r, topology.n_links, "link reliability")
-
+    ``2^(n_sites + 1)`` states rather than ``2^(2n + 1)``."""
     free_sites = np.nonzero((site_rel > 0.0) & (site_rel < 1.0))[0]
     free_links = np.nonzero((link_rel > 0.0) & (link_rel < 1.0))[0]
     n_free = free_sites.size + free_links.size
@@ -66,14 +87,129 @@ def enumerate_density_matrix(
             f"enumeration over {n_free} fallible components exceeds the "
             f"{MAX_COMPONENTS}-component safety cap; use montecarlo_density instead"
         )
+    return free_sites, free_links, n_free
+
+
+def enumerate_density_matrix(
+    topology: Topology,
+    p: Reliability,
+    r: Reliability,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    site: Optional[int] = None,
+) -> np.ndarray:
+    """Exact density matrix ``(n_sites, T+1)`` by full state enumeration.
+
+    Vectorized kernel, bitwise identical to
+    :func:`enumerate_density_matrix_reference` for every ``chunk_size``.
+    With ``site`` given, only that site's row (length ``T+1``) is
+    accumulated and returned — the single-row fast path behind
+    :func:`enumerate_density`.
+    """
+    if chunk_size <= 0:
+        raise DensityError(f"chunk_size must be positive, got {chunk_size}")
+    site_rel = _as_reliability_vector(p, topology.n_sites, "site reliability")
+    link_rel = _as_reliability_vector(r, topology.n_links, "link reliability")
+    free_sites, free_links, n_free = _free_components(topology, site_rel, link_rel)
+
+    from repro.analytic import cache as density_cache
+
+    key = density_cache.enumeration_key(topology, site_rel, link_rel, site)
+    return density_cache.fetch(
+        "enumeration",
+        key,
+        lambda: _enumeration_kernel(
+            topology, site_rel, link_rel, free_sites, free_links, n_free,
+            chunk_size=chunk_size, site=site,
+        ),
+    )
+
+
+def _enumeration_kernel(
+    topology: Topology,
+    site_rel: np.ndarray,
+    link_rel: np.ndarray,
+    free_sites: np.ndarray,
+    free_links: np.ndarray,
+    n_free: int,
+    *,
+    chunk_size: int,
+    site: Optional[int],
+) -> np.ndarray:
+    n = topology.n_sites
+    T = topology.total_votes
+    if site is None:
+        out = np.zeros(n * (T + 1), dtype=np.float64)
+        row_offsets = np.arange(n, dtype=np.int64) * (T + 1)
+    else:
+        out = np.zeros(T + 1, dtype=np.float64)
+
+    base_site_up = site_rel >= 1.0
+    base_link_up = link_rel >= 1.0
+
+    n_states = 1 << n_free
+    # Bit j (j = 0 slowest-varying) of state k mirrors the reference
+    # loop's ``product((False, True), repeat=n_free)`` enumeration order;
+    # matching the order makes the scatter-add accumulation sequence —
+    # and therefore the floating-point result — identical.
+    shifts = np.arange(n_free - 1, -1, -1, dtype=np.int64)
+
+    for start in range(0, n_states, chunk_size):
+        stop = min(start + chunk_size, n_states)
+        idx = np.arange(start, stop, dtype=np.int64)
+        bits = ((idx[:, None] >> shifts) & 1).astype(bool)
+        count = idx.shape[0]
+
+        site_masks = np.broadcast_to(base_site_up, (count, n)).copy()
+        link_masks = np.broadcast_to(base_link_up, (count, topology.n_links)).copy()
+        site_masks[:, free_sites] = bits[:, : free_sites.size]
+        link_masks[:, free_links] = bits[:, free_sites.size:]
+
+        # One factor per fallible component, multiplied column-by-column
+        # in the same order the reference loop multiplies scalars.
+        probs = np.ones(count, dtype=np.float64)
+        for col, comp in enumerate(free_sites):
+            rel = site_rel[comp]
+            probs *= np.where(bits[:, col], rel, 1.0 - rel)
+        for col, comp in enumerate(free_links):
+            rel = link_rel[comp]
+            probs *= np.where(bits[:, free_sites.size + col], rel, 1.0 - rel)
+
+        totals = batched_vote_totals(topology, site_masks, link_masks)
+        if site is None:
+            # State-major flat bins reproduce the reference's per-state
+            # ``matrix[arange(n), totals] += prob`` accumulation order;
+            # np.add.at applies the additions unbuffered, in order.
+            flat = (row_offsets[None, :] + totals).ravel()
+            np.add.at(out, flat, np.repeat(probs, n))
+        else:
+            np.add.at(out, totals[:, site], probs)
+
+    return out.reshape(n, T + 1) if site is None else out
+
+
+def enumerate_density_matrix_reference(
+    topology: Topology,
+    p: Reliability,
+    r: Reliability,
+) -> np.ndarray:
+    """The retained per-state loop: the oracle for the vectorized kernel.
+
+    This is the original implementation, kept because the kernel
+    equivalence tests assert the vectorized path reproduces it bitwise —
+    every probability product and every accumulation happens in the same
+    floating-point order.
+    """
+    site_rel = _as_reliability_vector(p, topology.n_sites, "site reliability")
+    link_rel = _as_reliability_vector(r, topology.n_links, "link reliability")
+    free_sites, free_links, _ = _free_components(topology, site_rel, link_rel)
+    n_free = free_sites.size + free_links.size
 
     T = topology.total_votes
     matrix = np.zeros((topology.n_sites, T + 1), dtype=np.float64)
 
-    base_site_up = site_rel >= 1.0
-    base_link_up = link_rel >= 1.0
-    site_up = base_site_up.copy()
-    link_up = base_link_up.copy()
+    site_up = (site_rel >= 1.0).copy()
+    link_up = (link_rel >= 1.0).copy()
 
     for bits in product((False, True), repeat=n_free):
         site_bits = bits[: free_sites.size]
@@ -102,7 +238,12 @@ def enumerate_density(
     p: Reliability,
     r: Reliability,
 ) -> np.ndarray:
-    """Exact ``f_site(v)`` for one site (length ``T + 1``)."""
+    """Exact ``f_site(v)`` for one site (length ``T + 1``).
+
+    Accumulates the single requested row inside the kernel instead of
+    materializing the full ``(n_sites, T+1)`` matrix; the row is bitwise
+    identical to ``enumerate_density_matrix(...)[site]``.
+    """
     if not 0 <= site < topology.n_sites:
         raise TopologyError(f"unknown site {site}")
-    return enumerate_density_matrix(topology, p, r)[site]
+    return enumerate_density_matrix(topology, p, r, site=site)

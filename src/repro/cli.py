@@ -54,17 +54,12 @@ def _scale(name: str):
 
 
 def _analytic_density(family: str, sites: int, p: float, r: float) -> np.ndarray:
-    from repro.analytic.bus import bus_density
-    from repro.analytic.complete import complete_density
-    from repro.analytic.ring import ring_density
+    # Route through the cached dispatcher so repeated CLI invocations of
+    # the same operating point inside one process (sweeps, figures)
+    # share density work with every other layer.
+    from repro.analytic import closed_form_density
 
-    if family == "ring":
-        return ring_density(sites, p, r)
-    if family == "complete":
-        return complete_density(sites, p, r)
-    if family == "bus":
-        return bus_density(sites, p, r, sites_need_bus=False)
-    raise ValueError(f"unknown density family {family!r}")
+    return closed_form_density(family, sites, p, r)
 
 
 # ----------------------------------------------------------------------
@@ -420,6 +415,36 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analytic import cache as density_cache
+
+    if args.exercise:
+        from repro.analytic import closed_form_density
+        from repro.analytic.enumeration import enumerate_density_matrix
+        from repro.topology.generators import ring
+
+        topo = ring(5)
+        for _ in range(2):  # second pass hits what the first one filled
+            for family in ("ring", "complete", "bus"):
+                for rel in (0.9, 0.96):
+                    closed_form_density(family, 6, rel, rel)
+            enumerate_density_matrix(topo, 0.9, 0.9)
+
+    stats = density_cache.stats()
+    state = "enabled" if density_cache.enabled() else "disabled"
+    print(f"density cache: {state} "
+          f"(set {density_cache.ENV_KNOB}=0 to disable)")
+    print(f"  entries: {stats.entries} (capacity {density_cache.get_cache().max_entries})")
+    print(f"  hits:    {stats.hits}")
+    print(f"  misses:  {stats.misses}")
+    print(f"  hit rate: {stats.hit_rate:.1%}")
+    if stats.by_layer:
+        print("  by layer:")
+        for layer, (hits, misses) in sorted(stats.by_layer.items()):
+            print(f"    {layer:<12} hits={hits} misses={misses}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verification import run_profile, write_corpus
 
@@ -601,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("path", help="events.jsonl file, or the directory "
                          "--telemetry-dir wrote it to")
     metrics.set_defaults(func=_cmd_metrics)
+
+    cache_p = sub.add_parser(
+        "cache", help="cross-layer density cache statistics"
+    )
+    cache_p.add_argument(
+        "--exercise", action="store_true",
+        help="run a small closed-form + enumeration workload twice first, "
+        "so the printed statistics show warm-cache behaviour",
+    )
+    cache_p.set_defaults(func=_cmd_cache)
 
     val = sub.add_parser(
         "validate",

@@ -12,10 +12,15 @@ scipy.sparse.csgraph backend (the simulator's hot path).
 """
 
 from repro.connectivity.components import (
+    batched_component_entries,
+    batched_component_labels,
+    batched_component_vote_totals,
+    batched_vote_totals,
     component_labels,
     component_members,
     component_vote_totals,
     components_unionfind,
+    gather_groups,
     votes_in_component_of,
 )
 from repro.connectivity.dynamic import ComponentTracker, NetworkState
@@ -23,9 +28,14 @@ from repro.connectivity.dynamic import ComponentTracker, NetworkState
 __all__ = [
     "ComponentTracker",
     "NetworkState",
+    "batched_component_entries",
+    "batched_component_labels",
+    "batched_component_vote_totals",
+    "batched_vote_totals",
     "component_labels",
     "component_members",
     "component_vote_totals",
     "components_unionfind",
+    "gather_groups",
     "votes_in_component_of",
 ]

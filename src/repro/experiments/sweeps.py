@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analytic import cache as density_cache
 from repro.analytic.complete import complete_density
 from repro.analytic.ring import ring_density
 from repro.errors import OptimizationError
@@ -59,7 +60,14 @@ def _model(family: str, n_sites: int, reliability: float) -> AvailabilityModel:
         raise OptimizationError(
             f"unknown family {family!r}; choose from {sorted(DENSITY_FAMILIES)}"
         ) from None
-    density = density_fn(n_sites, reliability, reliability)
+    # Sweeps and bisection revisit reliabilities constantly; route through
+    # the cross-layer density cache under the same key the closed-form
+    # dispatcher uses, so sweep points and verification engines share
+    # entries.
+    key = density_cache.closed_form_key(family, n_sites, reliability, reliability)
+    density = density_cache.fetch(
+        "closed_form", key, lambda: density_fn(n_sites, reliability, reliability)
+    )
     return AvailabilityModel(density, density)
 
 

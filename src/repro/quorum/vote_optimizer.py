@@ -10,10 +10,9 @@ the matching optimal quorums that maximize availability.
 
 The objective for a candidate vote vector ``w`` is
 ``max_{q_r} A(alpha, q_r)`` under the component-vote density induced by
-``w`` — evaluated analytically where a closed form applies (trees) and
-by common-random-numbers Monte-Carlo otherwise (the same network-state
-sample set scores every candidate, so comparisons between candidates are
-low-variance even when each estimate is noisy).
+``w`` — evaluated by common-random-numbers Monte-Carlo (the same
+network-state sample set scores every candidate, so comparisons between
+candidates are low-variance even when each estimate is noisy).
 
 Two search strategies:
 
@@ -22,27 +21,44 @@ Two search strategies:
 - ``hillclimb`` — steepest-ascent over single-vote moves (shift one vote
   from site a to site b), restarted from the uniform assignment; each
   step re-uses the shared state sample.
+
+Scoring is fully vectorized (DESIGN.md §10): the shared
+:class:`_StateSample` batch-labels all sampled states once at
+construction, scores a candidate with one scatter-add over the
+precomputed label matrix, and evaluates hillclimb single-vote moves by
+*delta* — a move only changes vote totals inside the components
+containing the two sites involved, so most of the histogram is reused.
+All three scoring paths (``delta``, ``batched``, and the retained
+``reference`` per-state loop) produce bitwise-identical availabilities
+because every intermediate is an exact small integer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from itertools import combinations
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.connectivity.components import component_labels
+from repro.connectivity.components import (
+    batched_component_entries,
+    batched_component_labels,
+    gather_groups,
+)
 from repro.errors import OptimizationError, VoteAssignmentError
 from repro.quorum.availability import AvailabilityModel
 from repro.quorum.optimizer import OptimizationResult, optimal_read_quorum
 from repro.rng import RandomState, as_generator
 from repro.topology.model import Topology
+from dataclasses import dataclass
 
 __all__ = ["VoteSearchResult", "optimize_votes", "availability_of_votes"]
 
 #: Exhaustive composition enumeration guard.
 MAX_EXHAUSTIVE_STATES = 200_000
+
+#: Candidate scoring strategies for :func:`optimize_votes`.
+SCORING_MODES = ("delta", "batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -61,7 +77,13 @@ class VoteSearchResult:
 
 
 class _StateSample:
-    """Common random numbers: one set of network states scores all vote vectors."""
+    """Common random numbers: one set of network states scores all vote vectors.
+
+    All ``n_samples`` states are labelled at construction with a single
+    block-diagonal :func:`batched_component_labels` call; the label
+    matrix plus its by-component entry index are the only per-sample
+    structures any scoring path touches afterwards.
+    """
 
     def __init__(
         self,
@@ -88,16 +110,114 @@ class _StateSample:
             )
         self.site_masks = rng.random((n_samples, topology.n_sites)) < site_rel
         link_draws = rng.random((n_samples, topology.n_links))
-        self.labels = np.empty((n_samples, topology.n_sites), dtype=np.int64)
-        for k in range(n_samples):
-            self.labels[k] = component_labels(
-                topology, self.site_masks[k], link_draws[k] < link_rel
-            )
+        self.labels = batched_component_labels(
+            topology, self.site_masks, link_draws < link_rel
+        )
         self.n_samples = n_samples
         self.n_sites = topology.n_sites
 
+        # Scoring precomputation: flat positions of up entries, their
+        # sites and (batch-global) component ids, plus the per-site count
+        # of down states that always lands in the zero-votes bin.
+        n = self.n_sites
+        flat = self.labels.ravel()
+        self._up_pos = np.nonzero(flat >= 0)[0]
+        self._up_labels = flat[self._up_pos]
+        self._up_sites = self._up_pos % n
+        self._n_components = int(self._up_labels.max()) + 1 if self._up_labels.size else 0
+        down_sites = np.nonzero(flat < 0)[0] % n
+        self._down_counts = np.bincount(down_sites, minlength=n).astype(np.float64)
+        self._comp_entries, self._comp_starts = batched_component_entries(self.labels)
+
+    # ------------------------------------------------------------------
+    # Vectorized scoring
+    # ------------------------------------------------------------------
+    def vote_counts(self, votes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """State-count histogram ``(n_sites, T+1)`` plus per-entry totals.
+
+        One weighted ``bincount`` sums each component's votes, a gather
+        spreads them back to entries, and a second ``bincount`` bins the
+        ``(site, total)`` pairs — no per-state Python loop. Counts are
+        exact small integers held in float64, so every scoring path that
+        consumes them agrees bitwise. ``totals_flat`` (totals indexed by
+        flat position into ``labels.ravel()``, down entries at 0) feeds
+        :meth:`moved_counts`.
+        """
+        votes = np.asarray(votes, dtype=np.int64)
+        n, T = self.n_sites, int(votes.sum())
+        if self._up_labels.size:
+            comp_sums = np.bincount(
+                self._up_labels,
+                weights=votes[self._up_sites].astype(np.float64),
+                minlength=self._n_components,
+            )
+            totals_up = comp_sums[self._up_labels].astype(np.int64)
+        else:
+            totals_up = np.empty(0, dtype=np.int64)
+        bins = self._up_sites * (T + 1) + totals_up
+        counts = np.bincount(bins, minlength=n * (T + 1)).astype(np.float64)
+        counts = counts.reshape(n, T + 1)
+        counts[:, 0] += self._down_counts
+        totals_flat = np.zeros(self.n_samples * n, dtype=np.int64)
+        totals_flat[self._up_pos] = totals_up
+        return counts, totals_flat
+
+    def moved_counts(
+        self,
+        counts: np.ndarray,
+        totals_flat: np.ndarray,
+        votes: np.ndarray,
+        a: int,
+        b: int,
+    ) -> np.ndarray:
+        """Histogram for ``votes`` with one vote moved ``a -> b``, by delta.
+
+        A single-vote move only changes totals inside the components
+        containing ``a`` or ``b``; states where the two sites share a
+        component (or where the moving site is down) contribute no
+        change. Only the affected entries are re-binned, so a hillclimb
+        sweep over all ``O(n^2)`` moves costs far less than ``n^2`` full
+        rescores — and, because counts are exact integers, the result is
+        bitwise identical to ``vote_counts(moved votes)``.
+        """
+        if votes[a] <= 0:
+            raise OptimizationError(f"site {a} has no vote to move")
+        n, T = self.n_sites, int(np.asarray(votes).sum())
+        la = self.labels[:, a]
+        lb = self.labels[:, b]
+        out = counts.copy()
+        flat_out = out.reshape(-1)
+        separated = la != lb
+        for comps, delta in (
+            (la[(la >= 0) & separated], -1),
+            (lb[(lb >= 0) & separated], +1),
+        ):
+            if comps.size == 0:
+                continue
+            entries = gather_groups(self._comp_entries, self._comp_starts, comps)
+            old_bins = (entries % n) * (T + 1) + totals_flat[entries]
+            flat_out -= np.bincount(old_bins, minlength=n * (T + 1))
+            flat_out += np.bincount(old_bins + delta, minlength=n * (T + 1))
+        return out
+
     def density_matrix(self, votes: np.ndarray) -> np.ndarray:
         """Empirical per-site density of component votes under ``votes``."""
+        counts, _ = self.vote_counts(votes)
+        return counts / self.n_samples
+
+    # ------------------------------------------------------------------
+    # Reference scoring (the retained pre-vectorization loop)
+    # ------------------------------------------------------------------
+    def density_matrix_reference(self, votes: np.ndarray) -> np.ndarray:
+        """The per-state scoring loop kept as the oracle and bench baseline.
+
+        Identical math to :meth:`density_matrix`, one state at a time.
+        Labels are batch-global here (they were per-state before the
+        batching), so each state's ids are shifted to a local base first;
+        grouping within a state — the only thing scoring depends on — is
+        unchanged.
+        """
+        votes = np.asarray(votes, dtype=np.int64)
         T = int(votes.sum())
         counts = np.zeros((self.n_sites, T + 1), dtype=np.float64)
         site_ids = np.arange(self.n_sites)
@@ -106,10 +226,11 @@ class _StateSample:
             up = labels >= 0
             totals = np.zeros(self.n_sites, dtype=np.int64)
             if up.any():
-                n_comp = int(labels.max()) + 1
-                sums = np.zeros(n_comp, dtype=np.int64)
-                np.add.at(sums, labels[up], votes[up])
-                totals[up] = sums[labels[up]]
+                base = int(labels[up].min())
+                local = labels[up] - base
+                sums = np.zeros(int(local.max()) + 1, dtype=np.int64)
+                np.add.at(sums, local, votes[up])
+                totals[up] = sums[local]
             counts[site_ids, totals] += 1.0
         return counts / self.n_samples
 
@@ -148,6 +269,7 @@ def optimize_votes(
     n_samples: int = 2_000,
     max_iterations: int = 50,
     seed: RandomState = 0,
+    scoring: str = "delta",
 ) -> VoteSearchResult:
     """Find a vote vector (and its optimal quorums) maximizing availability.
 
@@ -166,9 +288,19 @@ def optimize_votes(
         ``"hillclimb"`` (default) or ``"exhaustive"`` (tiny systems).
     n_samples:
         Network states in the common-random-numbers sample.
+    scoring:
+        ``"delta"`` (default — hillclimb moves are delta-scored against
+        the sweep's base histogram), ``"batched"`` (every candidate fully
+        rescored by the vectorized path), or ``"reference"`` (the
+        retained per-state loop; the ablation baseline). All three give
+        bitwise-identical results; only the wall-clock differs.
     """
     if not 0.0 <= alpha <= 1.0:
         raise OptimizationError(f"alpha must be in [0, 1], got {alpha}")
+    if scoring not in SCORING_MODES:
+        raise OptimizationError(
+            f"unknown scoring {scoring!r}; choose from {SCORING_MODES}"
+        )
     n = topology.n_sites
     T = n if total_votes is None else int(total_votes)
     if T <= 0:
@@ -180,7 +312,14 @@ def optimize_votes(
     def score(votes: np.ndarray) -> Tuple[float, OptimizationResult]:
         nonlocal evaluated
         evaluated += 1
-        return availability_of_votes(sample, votes, alpha)
+        matrix = (
+            sample.density_matrix_reference(votes)
+            if scoring == "reference"
+            else sample.density_matrix(votes)
+        )
+        model = AvailabilityModel.from_density_matrix(matrix)
+        result = optimal_read_quorum(model, alpha)
+        return result.availability, result
 
     if method == "exhaustive":
         from math import comb
@@ -210,12 +349,19 @@ def optimize_votes(
             f"unknown method {method!r}; choose 'hillclimb' or 'exhaustive'"
         )
 
-    # Hill-climb from (near-)uniform.
+    # Hill-climb from (near-)uniform. Steepest ascent: every single-vote
+    # move is scored, the best strictly-improving one is taken. Exact
+    # value ties resolve to the lowest (a, b) — moves are enumerated in
+    # ascending (a, b) order and a later candidate must be strictly
+    # better to displace the incumbent — so the search is deterministic
+    # for every scoring mode.
     votes = np.full(n, T // n, dtype=np.int64)
     votes[: T - int(votes.sum())] += 1
     value, quorum = score(votes)
+    use_delta = scoring == "delta"
     for _ in range(max_iterations):
-        improved = False
+        if use_delta:
+            base_counts, base_totals = sample.vote_counts(votes)
         best_move: Optional[Tuple[float, int, int, OptimizationResult]] = None
         for a in range(n):
             if votes[a] == 0:
@@ -223,22 +369,31 @@ def optimize_votes(
             for b in range(n):
                 if a == b:
                     continue
-                votes[a] -= 1
-                votes[b] += 1
-                cand_value, cand_quorum = score(votes)
-                votes[a] += 1
-                votes[b] -= 1
+                if use_delta:
+                    evaluated += 1
+                    cand_counts = sample.moved_counts(
+                        base_counts, base_totals, votes, a, b
+                    )
+                    model = AvailabilityModel.from_density_matrix(
+                        cand_counts / sample.n_samples
+                    )
+                    cand_quorum = optimal_read_quorum(model, alpha)
+                    cand_value = cand_quorum.availability
+                else:
+                    votes[a] -= 1
+                    votes[b] += 1
+                    cand_value, cand_quorum = score(votes)
+                    votes[a] += 1
+                    votes[b] -= 1
                 if cand_value > value + 1e-12 and (
                     best_move is None or cand_value > best_move[0]
                 ):
                     best_move = (cand_value, a, b, cand_quorum)
-        if best_move is not None:
-            value, a, b, quorum = best_move
-            votes[a] -= 1
-            votes[b] += 1
-            improved = True
-        if not improved:
+        if best_move is None:
             break
+        value, a, b, quorum = best_move
+        votes[a] -= 1
+        votes[b] += 1
     return VoteSearchResult(
         tuple(int(v) for v in votes), quorum, value, "hillclimb", evaluated
     )

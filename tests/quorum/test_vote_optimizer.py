@@ -100,3 +100,121 @@ class TestValidation:
         with pytest.raises(OptimizationError):
             optimize_votes(ring(3), alpha=0.5, p=np.array([0.9, 0.9]), r=0.9,
                            n_samples=10)
+
+
+class TestVectorizedScoring:
+    """The batched scatter-add scorer and the delta scorer must reproduce
+    the retained per-state reference loop bit for bit (DESIGN.md §10) —
+    every intermediate is an exact small integer, so there is no
+    tolerance to hide behind."""
+
+    def _sample(self, n_samples=200, seed=11):
+        from repro.quorum.vote_optimizer import _StateSample
+
+        topo = ring(6)
+        p = np.array([0.9, 0.55, 0.9, 0.7, 0.9, 0.55])
+        return _StateSample(topo, p, 0.85, n_samples=n_samples, seed=seed)
+
+    def test_batched_matches_reference_loop(self):
+        sample = self._sample()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            votes = rng.integers(0, 4, size=6)
+            votes[0] = max(votes[0], 1)
+            assert np.array_equal(
+                sample.density_matrix(votes),
+                sample.density_matrix_reference(votes),
+            )
+
+    def test_delta_matches_full_rescoring(self):
+        sample = self._sample()
+        votes = np.array([2, 1, 0, 1, 1, 1])
+        counts, totals = sample.vote_counts(votes)
+        for a in range(6):
+            if votes[a] == 0:
+                continue
+            for b in range(6):
+                if a == b:
+                    continue
+                moved = votes.copy()
+                moved[a] -= 1
+                moved[b] += 1
+                assert np.array_equal(
+                    sample.moved_counts(counts, totals, votes, a, b),
+                    sample.vote_counts(moved)[0],
+                )
+
+    def test_moving_from_empty_site_rejected(self):
+        sample = self._sample()
+        votes = np.array([2, 1, 0, 1, 1, 1])
+        counts, totals = sample.vote_counts(votes)
+        with pytest.raises(OptimizationError):
+            sample.moved_counts(counts, totals, votes, 2, 0)
+
+    def test_scoring_modes_agree_exactly(self):
+        topo = ring(5)
+        p = np.array([0.95, 0.95, 0.95, 0.5, 0.5])
+        results = [
+            optimize_votes(topo, alpha=0.5, p=p, r=0.9, n_samples=400,
+                           seed=3, scoring=mode)
+            for mode in ("delta", "batched", "reference")
+        ]
+        assert results[0].votes == results[1].votes == results[2].votes
+        assert (results[0].availability == results[1].availability
+                == results[2].availability)
+        assert (results[0].candidates_evaluated
+                == results[1].candidates_evaluated
+                == results[2].candidates_evaluated)
+
+    def test_unknown_scoring_rejected(self):
+        with pytest.raises(OptimizationError):
+            optimize_votes(ring(3), alpha=0.5, p=0.9, r=0.9,
+                           n_samples=10, scoring="psychic")
+
+    def test_delta_evaluations_are_counted(self):
+        res = optimize_votes(ring(4), alpha=0.5, p=0.9, r=0.9,
+                             n_samples=300, seed=0, scoring="delta")
+        # Initial score plus at least one full sweep of n*(n-1) moves.
+        assert res.candidates_evaluated >= 1 + 4 * 3
+
+
+class TestScoringProperties:
+    """Hypothesis: for arbitrary reliability vectors, seeds, and vote
+    vectors, batched scoring and delta-scoring reproduce the reference
+    loop exactly."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        votes=st.lists(st.integers(min_value=0, max_value=3), min_size=5,
+                       max_size=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+        p=st.lists(st.floats(min_value=0.05, max_value=0.95), min_size=5,
+                   max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_and_delta_match_reference(self, votes, seed, p):
+        from hypothesis import assume
+
+        from repro.quorum.vote_optimizer import _StateSample
+
+        votes = np.asarray(votes, dtype=np.int64)
+        assume(votes.sum() > 0)
+        sample = _StateSample(ring(5), np.asarray(p), 0.8, n_samples=64,
+                              seed=seed)
+        assert np.array_equal(
+            sample.density_matrix(votes),
+            sample.density_matrix_reference(votes),
+        )
+        counts, totals = sample.vote_counts(votes)
+        movable = [a for a in range(5) if votes[a] > 0]
+        a = movable[0]
+        b = (a + 1) % 5
+        moved = votes.copy()
+        moved[a] -= 1
+        moved[b] += 1
+        assert np.array_equal(
+            sample.moved_counts(counts, totals, votes, a, b),
+            sample.vote_counts(moved)[0],
+        )

@@ -316,6 +316,29 @@ class TestVerify:
         assert "FAIL" in out
 
 
+class TestCache:
+    def test_stats_cold(self, capsys):
+        from repro.analytic import cache as density_cache
+
+        density_cache.get_cache().clear()
+        code, out, _ = run_cli(capsys, "cache")
+        assert code == 0
+        assert "density cache: enabled" in out
+        assert "hits:    0" in out
+
+    def test_exercise_reports_warm_hits(self, capsys):
+        from repro.analytic import cache as density_cache
+
+        density_cache.get_cache().clear()
+        code, out, _ = run_cli(capsys, "cache", "--exercise")
+        assert code == 0
+        assert "closed_form" in out
+        assert "enumeration" in out
+        stats = density_cache.stats()
+        assert stats.hits >= stats.misses  # second pass re-hit everything
+        density_cache.get_cache().clear()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
