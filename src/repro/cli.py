@@ -15,6 +15,11 @@ writing Python:
 - ``write-constraint``  — the section 5.4 floor sweep for one topology.
 - ``chaos``             — scripted fault-injection campaign with invariant
   monitoring (DESIGN.md: "Chaos engineering the quorum layer").
+- ``serve``             — the adaptive quorum serving layer: an asyncio
+  service streaming client accesses against a replicated database while
+  a scripted fault scenario runs, with online density estimation driving
+  QR reassignments. Exit 0 = clean, 1 = SLO/invariant failure,
+  2 = usage error.
 - ``metrics``           — re-render a ``--telemetry`` JSONL stream as the
   human report (spans, counters, quorum-decision audit).
 - ``verify``            — the differential-verification battery: every
@@ -396,6 +401,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.quorum.assignment import QuorumAssignment
+    from repro.serving import ServeConfig, run_serve, serving_schedule
+    from repro.simulation.workload import AccessWorkload
+    from repro.topology.generators import ring_with_chords
+
+    if args.duration_short:
+        # The CI smoke preset: small enough for seconds-scale runs, large
+        # enough to cross the estimator's min-observation window and see
+        # at least one reassignment under the correlated scenario.
+        args.accesses = 20_000
+        args.clients = 64
+    topology = ring_with_chords(args.sites, args.chords)
+    workload = AccessWorkload.uniform(args.sites, args.alpha)
+    config = ServeConfig(
+        topology=topology,
+        workload=workload,
+        initial_assignment=QuorumAssignment.from_read_quorum(
+            topology.total_votes, args.read_quorum
+        ),
+        n_requests=args.accesses,
+        n_clients=args.clients,
+        seed=args.seed,
+        scenario=args.scenario,
+    )
+    config.fault_schedule = serving_schedule(args.scenario, topology,
+                                             config.horizon)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is None:
+        report = run_serve(config)
+    else:
+        from repro.telemetry.recorder import use as _use_telemetry
+
+        with _use_telemetry(telemetry):
+            report = run_serve(config, telemetry)
+    report.min_availability = args.min_availability
+    report.max_p99 = args.max_p99
+    print(report.summary())
+    if telemetry is not None:
+        _export_telemetry(telemetry.snapshot(), args)
+    return report.exit_code
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -618,6 +666,43 @@ def build_parser() -> argparse.ArgumentParser:
                              help="quarantine failed batches and continue (default)")
     _add_telemetry_args(chaos)
     chaos.set_defaults(func=_cmd_chaos, fail_fast=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="adaptive quorum serving: asyncio service + chaos + online "
+        "QR reassignment (exit 0 clean / 1 SLO or invariant failure / "
+        "2 usage error)",
+    )
+    serve.add_argument("--sites", type=int, default=13)
+    serve.add_argument("--chords", type=int, default=2,
+                       help="ring chords (paper topology family)")
+    serve.add_argument("--alpha", type=float, default=0.7,
+                       help="read fraction of the client stream")
+    serve.add_argument("--read-quorum", type=int, default=1,
+                       help="initial q_r (q_w = T - q_r + 1); the adaptive "
+                       "loop reassigns from here")
+    serve.add_argument("--accesses", type=int, default=1_000_000,
+                       help="total client accesses to stream")
+    serve.add_argument("--clients", type=int, default=1_000,
+                       help="concurrent client feeders (pacing only; results "
+                       "are bitwise identical for any value)")
+    from repro.serving.scenarios import SERVE_SCENARIOS as _SERVE_SCENARIOS
+
+    serve.add_argument("--scenario", choices=_SERVE_SCENARIOS,
+                       default="correlated",
+                       help="scripted fault scenario injected during serving")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--duration-short", action="store_true",
+                       help="CI smoke preset: 20k accesses, 64 clients")
+    serve.add_argument("--min-availability", type=float, default=None,
+                       metavar="A",
+                       help="SLO gate: fail (exit 1) if request-level "
+                       "availability ends below A")
+    serve.add_argument("--max-p99", type=float, default=None, metavar="SECS",
+                       help="SLO gate: fail (exit 1) if p99 grant latency "
+                       "(simulated seconds) exceeds SECS")
+    _add_telemetry_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     metrics = sub.add_parser(
         "metrics",

@@ -71,6 +71,7 @@ class ReplicatedDatabase:
         on_wait: Optional[Callable[[float], None]] = None,
         monitor: Optional["InvariantMonitor"] = None,
         telemetry=None,
+        record_history: bool = True,
     ) -> None:
         self.topology = topology
         self.protocol = protocol
@@ -112,8 +113,18 @@ class ReplicatedDatabase:
         self._clock = 0
         #: (timestamp, value) of the last granted write, for the checker.
         self._last_commit: Tuple[int, Any] = (0, initial_value)
-        #: Operation log for post-hoc analysis.
+        #: Operation log for post-hoc analysis. Long-running drivers (the
+        #: serving layer pushes ~10^6 accesses through one database) turn
+        #: it off; the audit log keeps the exact totals either way.
+        self.record_history = record_history
         self.history: List[object] = []
+        #: Refined cause of the most recent access decision, exactly as
+        #: the audit log recorded it (``granted`` / ``site_down`` /
+        #: ``no_quorum`` / ``stale_assignment``). Lets callers reconcile
+        #: their own accounting against the audit totals without
+        #: re-deriving the stale-assignment refinement. None until the
+        #: first audited decision (requires an enabled recorder).
+        self.last_audit_reason: Optional[str] = None
         self._time = 0.0
 
         self.protocol.on_network_change(self.tracker)
@@ -173,6 +184,7 @@ class ReplicatedDatabase:
         """
         tel = self.telemetry
         if not tel.enabled:
+            self.last_audit_reason = reason
             return
         protocol = self.protocol
         members = self.tracker.component_of(site)
@@ -189,6 +201,7 @@ class ReplicatedDatabase:
             version = int(versions[members].max()) if members.size else int(versions[site])
             if reason == _audit.NO_QUORUM and version < int(versions.max()):
                 reason = _audit.STALE_ASSIGNMENT
+        self.last_audit_reason = reason
         tel.audit.record(
             self._time, op, reason,
             site=site,
@@ -206,12 +219,15 @@ class ReplicatedDatabase:
                 "repro_db_retries_total", "access attempts beyond the first",
             ).inc(op=op)
 
-    def _retry_loop(self, attempt_once):
+    def _retry_loop(self, op: str, attempt_once):
         """Drive ``attempt_once(attempt_number)`` under the retry policy.
 
         Backoff runs on the simulated clock; ``on_wait`` fires after every
         advance so the harness can evolve the network before the retry.
-        The last (possibly still denied) result is returned.
+        The last (possibly still denied) result is returned. Every retry
+        scheduled counts toward ``repro_retry_attempts_total`` and a final
+        denial toward ``repro_retry_exhausted_total``, both labeled with
+        the (refined) cause of the denial that provoked them.
         """
         policy = self.retry_policy
         result = attempt_once(1)
@@ -219,10 +235,16 @@ class ReplicatedDatabase:
             return result
         started = self._time
         attempt = 1
+        tel = self.telemetry
         while attempt < policy.max_attempts:
+            cause = self.last_audit_reason or result.outcome.value
             delay = policy.backoff(attempt, self._retry_rng)
             if not policy.within_deadline(self._time + delay - started):
                 break
+            tel.counter(
+                "repro_retry_attempts_total",
+                "retry attempts scheduled, by op and denial cause",
+            ).inc(op=op, cause=cause)
             self.advance_time(delay)
             if self.on_wait is not None:
                 self.on_wait(self._time)
@@ -230,6 +252,10 @@ class ReplicatedDatabase:
             result = attempt_once(attempt)
             if result.granted:
                 return result
+        tel.counter(
+            "repro_retry_exhausted_total",
+            "accesses failed after their retry budget, by op and last cause",
+        ).inc(op=op, cause=self.last_audit_reason or result.outcome.value)
         return result
 
     def submit_read(self, site: int) -> ReadResult:
@@ -241,14 +267,15 @@ class ReplicatedDatabase:
         ``attempts`` says which try produced it.
         """
         self._check_site(site)
-        return self._retry_loop(lambda attempt: self._read_once(site, attempt))
+        return self._retry_loop("read", lambda attempt: self._read_once(site, attempt))
 
     def _read_once(self, site: int, attempt: int) -> ReadResult:
         if not self.state.site_up[site]:
             result = ReadResult(
                 AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
             )
-            self.history.append(result)
+            if self.record_history:
+                self.history.append(result)
             self._audit_decision("read", site, _audit.SITE_DOWN, None, attempt)
             return result
         votes = self.tracker.votes_at(site)
@@ -257,7 +284,8 @@ class ReplicatedDatabase:
                 AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes,
                 attempts=attempt,
             )
-            self.history.append(result)
+            if self.record_history:
+                self.history.append(result)
             self._audit_decision("read", site, _audit.NO_QUORUM, votes, attempt)
             return result
 
@@ -291,7 +319,8 @@ class ReplicatedDatabase:
             component_votes=votes,
             attempts=attempt,
         )
-        self.history.append(result)
+        if self.record_history:
+            self.history.append(result)
         self._audit_decision("read", site, _audit.GRANTED, votes, attempt)
         return result
 
@@ -302,14 +331,17 @@ class ReplicatedDatabase:
         exactly like reads.
         """
         self._check_site(site)
-        return self._retry_loop(lambda attempt: self._write_once(site, value, attempt))
+        return self._retry_loop(
+            "write", lambda attempt: self._write_once(site, value, attempt)
+        )
 
     def _write_once(self, site: int, value: Any, attempt: int) -> WriteResult:
         if not self.state.site_up[site]:
             result = WriteResult(
                 AccessOutcome.SITE_DOWN, site, self._time, attempts=attempt
             )
-            self.history.append(result)
+            if self.record_history:
+                self.history.append(result)
             self._audit_decision("write", site, _audit.SITE_DOWN, None, attempt)
             return result
         votes = self.tracker.votes_at(site)
@@ -318,7 +350,8 @@ class ReplicatedDatabase:
                 AccessOutcome.NO_QUORUM, site, self._time, component_votes=votes,
                 attempts=attempt,
             )
-            self.history.append(result)
+            if self.record_history:
+                self.history.append(result)
             self._audit_decision("write", site, _audit.NO_QUORUM, votes, attempt)
             return result
 
@@ -347,9 +380,30 @@ class ReplicatedDatabase:
             component_votes=votes,
             attempts=attempt,
         )
-        self.history.append(result)
+        if self.record_history:
+            self.history.append(result)
         self._audit_decision("write", site, _audit.GRANTED, votes, attempt)
         return result
+
+    def peek_newest(self, site: int):
+        """The newest copy visible in ``site``'s component, sans quorum.
+
+        The stale-read fallback of the serving layer: when a read has
+        exhausted its retries, the freshest *component-local* copy may
+        still be worth serving — explicitly marked stale, never counted
+        as a granted read, and carrying no consistency guarantee. Returns
+        None when the site is down or its component holds no replica.
+        """
+        self._check_site(site)
+        if not self.state.site_up[site]:
+            return None
+        replicas = self._component_replicas(site)
+        if not replicas:
+            return None
+        return max(
+            (self.stores[r].read(self.item.item_id) for r in replicas),
+            key=lambda copy: copy.timestamp,
+        )
 
     # ------------------------------------------------------------------
     def _check_site(self, site: int) -> None:

@@ -1,0 +1,139 @@
+"""Per-site circuit breakers for the serving layer.
+
+A site whose accesses keep failing (its component lost quorum, or the
+site itself is down) should stop absorbing retry budget: the breaker
+*opens* after ``failure_threshold`` consecutive failures and fast-fails
+subsequent requests for ``cooldown`` simulated seconds. After the
+cooldown one probe request is let through (*half-open*); success closes
+the breaker, failure re-opens it for another cooldown.
+
+All state transitions run on simulated time inside the single-sequencer
+engine, so breaker behaviour is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+__all__ = ["BreakerState", "CircuitBreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Breaker policy shared by every site's breaker."""
+
+    failure_threshold: int = 8
+    cooldown: float = 20.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown <= 0.0:
+            raise ReproError(f"cooldown must be positive, got {self.cooldown}")
+
+
+class CircuitBreaker:
+    """One site's breaker state machine."""
+
+    __slots__ = ("config", "state", "failures", "opened_at", "probing", "trips")
+
+    def __init__(self, config: CircuitBreakerConfig) -> None:
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed at simulated time ``now``?"""
+        if not self.config.enabled or self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.config.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self.probing = False
+            else:
+                return False
+        # HALF_OPEN: exactly one probe at a time.
+        if self.probing:
+            return False
+        self.probing = True
+        return True
+
+    def on_success(self) -> None:
+        self.failures = 0
+        self.probing = False
+        self.state = BreakerState.CLOSED
+
+    def on_failure(self, now: float) -> None:
+        if not self.config.enabled:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip(now)
+            return
+        self.failures += 1
+        if self.failures >= self.config.failure_threshold:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = now
+        self.failures = 0
+        self.probing = False
+        self.trips += 1
+
+
+class BreakerBoard:
+    """The per-site breaker array plus aggregate accounting."""
+
+    def __init__(self, n_sites: int, config: CircuitBreakerConfig) -> None:
+        if n_sites <= 0:
+            raise ReproError(f"need at least one site, got {n_sites}")
+        self.config = config
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(config) for _ in range(n_sites)
+        ]
+        #: Requests fast-failed by an open breaker.
+        self.rejections = 0
+
+    def allow(self, site: int, now: float) -> bool:
+        allowed = self.breakers[site].allow(now)
+        if not allowed:
+            self.rejections += 1
+        return allowed
+
+    def on_success(self, site: int) -> None:
+        self.breakers[site].on_success()
+
+    def on_failure(self, site: int, now: float) -> None:
+        self.breakers[site].on_failure(now)
+
+    @property
+    def trips(self) -> int:
+        return sum(b.trips for b in self.breakers)
+
+    def open_sites(self) -> List[int]:
+        return [
+            i for i, b in enumerate(self.breakers)
+            if b.state is not BreakerState.CLOSED
+        ]
+
+    def states(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for breaker in self.breakers:
+            counts[breaker.state.value] = counts.get(breaker.state.value, 0) + 1
+        return counts

@@ -1,0 +1,76 @@
+"""Canned fault scenarios for serving runs, scaled to the stream horizon.
+
+Unlike the chaos-campaign scenarios (which may sample Poisson occurrence
+times from the batch stream), every serving scenario here is *fully
+scripted*: occurrence times are fixed fractions of the horizon, so a
+seeded ``repro serve`` run — and the golden-corpus entry locked on one —
+is exactly reproducible with no dependence on schedule randomness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.faults.schedule import (
+    CascadingFailure,
+    CorrelatedFailure,
+    FaultSchedule,
+    FlappingSite,
+    ScriptedPartition,
+)
+from repro.topology.model import Topology
+
+__all__ = ["SERVE_SCENARIOS", "serving_schedule"]
+
+SERVE_SCENARIOS = ("none", "correlated", "partition", "flap", "cascade", "mixed")
+
+
+def serving_schedule(scenario: str, topology: Topology,
+                     horizon: float) -> FaultSchedule:
+    """A deterministic fault schedule for ``scenario`` over ``horizon``."""
+    if horizon <= 0:
+        raise ReproError(f"horizon must be positive, got {horizon}")
+    n = topology.n_sites
+    if scenario == "none":
+        return FaultSchedule([])
+
+    half = list(range(n // 2))
+    # A shared-risk group (rack / power feed): a handful of sites that
+    # fail together, repeatedly, holding the degraded regime long enough
+    # for the online estimator to see it and react.
+    group = list(range(max(2, n // 6)))
+    if scenario == "correlated":
+        return FaultSchedule([
+            CorrelatedFailure(
+                sites=group,
+                at_times=[0.15 * horizon, 0.45 * horizon, 0.72 * horizon],
+                down_time=0.18 * horizon,
+            ),
+        ])
+    if scenario == "partition":
+        return FaultSchedule([
+            ScriptedPartition(0.2 * horizon, [half], heal_at=0.45 * horizon),
+            ScriptedPartition(0.55 * horizon, [half[::2]], heal_at=0.8 * horizon),
+        ])
+    if scenario == "flap":
+        return FaultSchedule([
+            FlappingSite(0, period=horizon / 10.0, until=0.9 * horizon),
+            FlappingSite(1 % n, period=horizon / 7.0, until=0.9 * horizon),
+        ])
+    if scenario == "cascade":
+        return FaultSchedule([
+            CascadingFailure(0.2 * horizon, half[:3] or [0],
+                             delay=horizon / 20.0, heal_at=0.7 * horizon),
+        ])
+    if scenario == "mixed":
+        return FaultSchedule([
+            ScriptedPartition(0.2 * horizon, [half], heal_at=0.4 * horizon),
+            CorrelatedFailure(
+                sites=group,
+                at_times=[0.5 * horizon, 0.75 * horizon],
+                down_time=0.15 * horizon,
+            ),
+            FlappingSite(n - 1, period=horizon / 8.0, until=0.9 * horizon),
+        ])
+    raise ReproError(
+        f"unknown serving scenario {scenario!r}; choose from {SERVE_SCENARIOS}"
+    )

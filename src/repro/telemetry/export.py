@@ -160,6 +160,27 @@ def render_report(snapshot: TelemetrySnapshot) -> str:
                 suffix = f"{{{labels}}}" if labels else ""
                 lines.append(f"  {metric['name']}{suffix:<40} {series['value']:g}")
 
+    retry_rows: List[str] = []
+    for metric in snapshot.counters:
+        if metric["name"] not in ("repro_retry_attempts_total",
+                                  "repro_retry_exhausted_total"):
+            continue
+        kind = ("scheduled" if metric["name"] == "repro_retry_attempts_total"
+                else "exhausted")
+        for series in sorted(
+            metric["series"],
+            key=lambda s: (s["labels"].get("op", ""), s["labels"].get("cause", "")),
+        ):
+            labels = series["labels"]
+            retry_rows.append(
+                f"  {kind:<10} {labels.get('op', '?'):<6} "
+                f"{labels.get('cause', '?'):<18} {series['value']:>12g}"
+            )
+    if retry_rows:
+        lines.append("")
+        lines.append("retry pressure (by op and denial cause)")
+        lines.extend(retry_rows)
+
     submitted = snapshot.audit_volume()
     if submitted > 0:
         granted = snapshot.audit_volume(reason="granted")

@@ -16,6 +16,10 @@ Three kinds of entries, all exactly reproducible:
   reproducible for a fixed seed, so the locked values are exact.
 - ``simulation`` — one seeded discrete-event campaign (per-batch ACC and
   the pooled/audit accounting). Also bitwise reproducible.
+- ``serving`` — one seeded adaptive-serving run under the scripted
+  correlated-failure scenario: reassignment count, final ``q_r``, and
+  the availability/robustness accounting. The serving engine's
+  single-sequencer design makes these bitwise reproducible too.
 
 ``check_corpus`` recomputes everything and reports per-metric drift
 against the locked values; any structural mismatch or drift beyond
@@ -159,12 +163,82 @@ def _simulation_entry() -> dict:
     }
 
 
+#: Parameters of the locked adaptive-serving scenario. Small enough to
+#: regenerate in seconds, large enough that the online estimator crosses
+#: its observation threshold and installs at least one reassignment.
+_SERVING_SEED = 7
+_SERVING_SITES = 13
+_SERVING_CHORDS = 2
+_SERVING_ALPHA = 0.7
+_SERVING_REQUESTS = 20_000
+_SERVING_SCENARIO = "correlated"
+
+
+def _serving_entry() -> dict:
+    from repro.quorum.assignment import QuorumAssignment
+    from repro.serving import ServeConfig, run_serve, serving_schedule
+    from repro.simulation.workload import AccessWorkload
+    from repro.topology.generators import ring_with_chords
+
+    topology = ring_with_chords(_SERVING_SITES, _SERVING_CHORDS)
+    config = ServeConfig(
+        topology=topology,
+        workload=AccessWorkload.uniform(_SERVING_SITES, _SERVING_ALPHA),
+        initial_assignment=QuorumAssignment.from_read_quorum(
+            topology.total_votes, 1
+        ),
+        n_requests=_SERVING_REQUESTS,
+        n_clients=64,
+        seed=_SERVING_SEED,
+        scenario=_SERVING_SCENARIO,
+    )
+    config.fault_schedule = serving_schedule(
+        _SERVING_SCENARIO, topology, config.horizon
+    )
+    report = run_serve(config)
+    if report.violations or not report.reconciled:
+        raise VerificationError(
+            "serving golden entry produced an invalid run (violations="
+            f"{len(report.violations)}, reconciled={report.reconciled})"
+        )
+    metrics: Dict[str, float] = {
+        "reassignments": float(len(report.reassignments)),
+        "final-q_r": float(report.final_read_quorum),
+        "final-version": float(report.final_version),
+        "request-availability": float(report.availability),
+        "attempt-ACC": float(report.attempt_availability),
+        "retries-scheduled": float(report.retries_scheduled),
+        "retries-exhausted": float(report.retries_exhausted),
+        "breaker-trips": float(report.breaker_trips),
+        "read-only-entries": float(report.read_only_entries),
+    }
+    return {
+        "name": f"serve-{_SERVING_SCENARIO}-seed-{_SERVING_SEED}",
+        "kind": "serving",
+        "tolerance": 1e-9,
+        "params": {
+            "n_sites": _SERVING_SITES,
+            "chords": _SERVING_CHORDS,
+            "alpha": _SERVING_ALPHA,
+            "n_requests": _SERVING_REQUESTS,
+            "scenario": _SERVING_SCENARIO,
+            "seed": _SERVING_SEED,
+            "initial_read_quorum": 1,
+        },
+        "metrics": metrics,
+    }
+
+
 def generate_corpus() -> dict:
     """Recompute every corpus entry from the current code."""
     return {
         "version": CORPUS_VERSION,
         "generator": "python -m repro verify --regenerate-golden",
-        "entries": _paper_entries() + _montecarlo_entries() + [_simulation_entry()],
+        "entries": (
+            _paper_entries()
+            + _montecarlo_entries()
+            + [_simulation_entry(), _serving_entry()]
+        ),
     }
 
 

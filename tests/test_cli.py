@@ -191,6 +191,70 @@ class TestChaos:
         assert "availability" in out
 
 
+class TestServe:
+    """The serve exit contract: 0 clean, 1 SLO/invariant, 2 usage error."""
+
+    SMALL = ("serve", "--sites", "7", "--chords", "1", "--accesses", "2000",
+             "--clients", "8", "--seed", "3")
+
+    def test_clean_run_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, *self.SMALL, "--scenario", "none")
+        assert code == 0
+        assert "verdict        : PASS" in out
+        assert "reconciliation : exact" in out
+
+    def test_chaos_run_reports_reassignment(self, capsys):
+        code, out, _ = run_cli(capsys, *self.SMALL, "--scenario", "correlated")
+        assert code == 0
+        assert "reassignments" in out
+        assert "invariants     : 0 violations" in out
+
+    def test_unreachable_slo_exits_one(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.SMALL, "--scenario", "correlated",
+            "--min-availability", "1.1",
+        )
+        assert code == 1
+        assert "verdict        : FAIL" in out
+
+    def test_invalid_read_quorum_exits_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, *self.SMALL, "--read-quorum", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_oversized_read_quorum_exits_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, *self.SMALL, "--read-quorum", "100",
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_duration_short_preset(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "serve", "--duration-short", "--sites", "7",
+            "--chords", "1", "--scenario", "none", "--seed", "1",
+        )
+        assert code == 0
+        assert "requests       : 20000" in out
+
+    def test_telemetry_export_includes_serving_counters(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, *self.SMALL, "--scenario", "correlated",
+            "--telemetry-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert (tmp_path / "metrics.prom").exists()
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "repro_serve_requests_total" in prom
+        mcode, mout, _ = run_cli(
+            capsys, "metrics", str(tmp_path / "events.jsonl")
+        )
+        assert mcode == 0
+        assert "retry pressure" in mout
+
+
 class TestValidate:
     def test_validate_runs_and_passes(self, capsys):
         # The default validation scale takes a few seconds; acceptable for

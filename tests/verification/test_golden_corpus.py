@@ -48,7 +48,7 @@ class TestLockedCorpus:
     def test_covers_paper_figures_and_both_engines(self):
         corpus = load_corpus()
         kinds = {e["kind"] for e in corpus["entries"]}
-        assert kinds == {"closed-form", "monte-carlo", "simulation"}
+        assert kinds == {"closed-form", "monte-carlo", "simulation", "serving"}
         names = {e["name"] for e in corpus["entries"]}
         # Paper-parameter entries for every family at every paper alpha.
         for family in ("ring", "complete", "bus"):
