@@ -121,15 +121,27 @@ def _bench_json_recorder(request):
     Raw round timings feed a telemetry :class:`Histogram`, whose moment
     accumulators supply the reported mean/stddev — the same estimator the
     ``--telemetry`` path uses for span timings, so the two agree.
+
+    Each benchmark also runs under a live recorder so the instrumented
+    hot paths attribute their time to named phases; the cumulative phase
+    table (warm-up round included) is stamped into the entry. Baselines
+    and CI runs are therefore measured identically, and
+    ``check_bench_regression.py`` can name the phase a regression lives
+    in rather than just the test.
     """
     benchmark = (
         request.getfixturevalue("benchmark")
         if "benchmark" in request.fixturenames
         else None
     )
-    yield
     if benchmark is None:
+        yield
         return
+    from repro.telemetry.recorder import Telemetry, use
+
+    telemetry = Telemetry()
+    with use(telemetry):
+        yield
     meta = getattr(benchmark, "stats", None)
     stats = getattr(meta, "stats", None)
     data = list(getattr(stats, "data", None) or [])
@@ -149,6 +161,7 @@ def _bench_json_recorder(request):
         "quantiles": {
             str(q): est.value() for q, est in sorted(series.quantiles.items())
         },
+        "phases": telemetry.phases.snapshot(),
     }
     _BENCH_JSON.setdefault(request.node.path.stem, []).append(entry)
 

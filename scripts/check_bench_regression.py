@@ -23,6 +23,11 @@ Robustness rules for shared CI runners:
   summary entry) — a 1-core baseline says nothing about 4-core scaling
   and vice versa.
 - Improvements are reported but never fail the gate.
+
+When both sidecars carry per-phase wall-clock tables (stamped by
+``benchmarks/conftest.py``), a regression's failure message additionally
+names the phase(s) whose growth dominates the slowdown — the explainer is
+:func:`explain_regression`, importable for testing.
 """
 
 from __future__ import annotations
@@ -61,6 +66,42 @@ def _cores(payload: dict):
     return None
 
 
+def explain_regression(base: dict, curr: dict, min_share: float = 0.15) -> str:
+    """Name the phase(s) whose growth accounts for a timing regression.
+
+    Both entries carry the cumulative per-phase wall-clock table stamped
+    by ``benchmarks/conftest.py``. The explanation ranks phases by
+    absolute wall-clock growth and keeps those contributing at least
+    ``min_share`` of the total growth (always at least the top one), so
+    a failure message reads "dominated by enum.label" instead of leaving
+    the reader to re-profile. Returns "" when either side lacks a phase
+    table or nothing grew.
+    """
+    base_phases = {p["name"]: float(p["wall"]) for p in base.get("phases", [])}
+    curr_phases = {p["name"]: float(p["wall"]) for p in curr.get("phases", [])}
+    if not base_phases or not curr_phases:
+        return ""
+    growth = []
+    for name in sorted(set(base_phases) | set(curr_phases)):
+        delta = curr_phases.get(name, 0.0) - base_phases.get(name, 0.0)
+        if delta > 0:
+            growth.append((delta, name))
+    total = sum(delta for delta, _ in growth)
+    if total <= 0:
+        return ""
+    growth.sort(reverse=True)
+    culprits = []
+    for delta, name in growth:
+        share = delta / total
+        if culprits and share < min_share:
+            break
+        culprits.append(
+            f"{name} ({base_phases.get(name, 0.0):.4f}s -> "
+            f"{curr_phases.get(name, 0.0):.4f}s, {share:.0%} of growth)"
+        )
+    return "phase growth dominated by " + ", ".join(culprits)
+
+
 def check_file(baseline_path: Path, current_dir: Path, threshold: float) -> list:
     baseline = _load(baseline_path)
     current = _load(current_dir / baseline_path.name)
@@ -80,11 +121,15 @@ def check_file(baseline_path: Path, current_dir: Path, threshold: float) -> list
         verdict = "OK"
         if ratio > 1.0 + threshold:
             verdict = "REGRESSION"
-            failures.append(
+            message = (
                 f"{baseline_path.name}: {test} mean {curr['mean']:.4f}s vs "
                 f"baseline {base['mean']:.4f}s ({ratio:.2f}x, "
                 f"budget {1.0 + threshold:.2f}x)"
             )
+            explanation = explain_regression(base, curr)
+            if explanation:
+                message += f"; {explanation}"
+            failures.append(message)
         print(
             f"  {verdict:10s} {baseline_path.name}:{test} "
             f"{base['mean'] * 1e3:8.1f}ms -> {curr['mean'] * 1e3:8.1f}ms "

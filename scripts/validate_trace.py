@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Validate a ``repro profile`` Chrome trace file (CI profile-smoke gate).
+
+Usage:
+
+    python scripts/validate_trace.py profile.trace.json [more.trace.json ...]
+
+Checks, per file:
+
+- the file parses as JSON and has a non-empty ``traceEvents`` list;
+- every span event is a complete (``"X"``) event with a name, numeric
+  non-negative ``ts``/``dur``, and integer ``args.span_id``;
+- span ids are unique;
+- every non-null ``args.parent_id`` present in the file on the *same*
+  ``tid`` lane nests: the child's ``[ts, ts+dur]`` interval lies within
+  the parent's (small float tolerance). A child on a different lane is
+  a declared clock-domain boundary — a subtree merged from a pool
+  worker, timed against that worker's clock epoch — and its timestamps
+  are not comparable to the parent's;
+- per ``tid`` lane, events are sorted by timestamp (monotone ``ts``);
+- each lane has a ``thread_name`` metadata event.
+
+Importable as :func:`validate_trace`, which returns a list of problem
+strings (empty = valid), so the test suite exercises the same logic the
+CI job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: Slack for float round-trips through microsecond timestamps.
+_EPS_US = 0.5
+
+
+def validate_trace(path) -> List[str]:
+    """Return every problem found in the Chrome trace at ``path``."""
+    path = Path(path)
+    problems: List[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path}: file not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON: {exc}"]
+
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents missing or empty"]
+
+    spans: Dict[int, dict] = {}
+    named_lanes = set()
+    for i, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                named_lanes.add(event.get("tid"))
+            continue
+        if phase != "X":
+            problems.append(f"{path}: event {i} has phase {phase!r}, "
+                            "expected 'X' or 'M'")
+            continue
+        if not event.get("name"):
+            problems.append(f"{path}: event {i} has no name")
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{path}: event {i} has bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"{path}: event {i} has bad dur {dur!r}")
+        span_id = (event.get("args") or {}).get("span_id")
+        if not isinstance(span_id, int):
+            problems.append(f"{path}: event {i} has no integer args.span_id")
+            continue
+        if span_id in spans:
+            problems.append(f"{path}: duplicate span_id {span_id}")
+            continue
+        spans[span_id] = event
+
+    if not spans:
+        problems.append(f"{path}: no span events")
+        return problems
+
+    # Parent/child nesting: a child sharing its parent's lane must sit
+    # inside the parent's interval. A lane break marks a clock-domain
+    # boundary (worker-merged subtree) — intervals across domains are
+    # not comparable, so those children are exempt.
+    for span_id, event in sorted(spans.items()):
+        parent_id = (event.get("args") or {}).get("parent_id")
+        parent = spans.get(parent_id) if parent_id is not None else None
+        if parent is None:
+            continue
+        if event.get("tid") != parent.get("tid"):
+            continue
+        if (event["ts"] < parent["ts"] - _EPS_US
+                or event["ts"] + event["dur"]
+                > parent["ts"] + parent["dur"] + _EPS_US):
+            problems.append(
+                f"{path}: span {span_id} "
+                f"[{event['ts']:.1f}, {event['ts'] + event['dur']:.1f}] "
+                f"escapes parent {parent_id} "
+                f"[{parent['ts']:.1f}, {parent['ts'] + parent['dur']:.1f}]"
+            )
+
+    # Monotone timestamps per lane, and every lane named.
+    lanes: Dict[object, List[float]] = {}
+    for event in events:
+        if event.get("ph") == "X":
+            lanes.setdefault(event.get("tid"), []).append(event["ts"])
+    for tid, stamps in sorted(lanes.items(), key=lambda kv: str(kv[0])):
+        if any(b < a for a, b in zip(stamps, stamps[1:])):
+            problems.append(f"{path}: tid {tid} timestamps not monotone")
+        if tid not in named_lanes:
+            problems.append(f"{path}: tid {tid} has no thread_name metadata")
+    return problems
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:])
+    if not paths:
+        print("usage: validate_trace.py TRACE.json [TRACE.json ...]")
+        return 2
+    failed = False
+    for path in paths:
+        problems = validate_trace(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"FAIL: {problem}")
+        else:
+            spans = sum(
+                1 for e in json.loads(Path(path).read_text())["traceEvents"]
+                if e.get("ph") == "X"
+            )
+            print(f"OK: {path} ({spans} spans)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

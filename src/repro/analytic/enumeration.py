@@ -136,6 +136,13 @@ def _enumeration_kernel(
     chunk_size: int,
     site: Optional[int],
 ) -> np.ndarray:
+    # Phase attribution resolves through the current recorder (the
+    # kernel has no telemetry argument); with the NULL recorder every
+    # phase block is a shared no-op.
+    from repro.telemetry.recorder import current as _current_recorder
+
+    prof = _current_recorder().phases
+
     n = topology.n_sites
     T = topology.total_votes
     if site is None:
@@ -156,34 +163,41 @@ def _enumeration_kernel(
 
     for start in range(0, n_states, chunk_size):
         stop = min(start + chunk_size, n_states)
-        idx = np.arange(start, stop, dtype=np.int64)
-        bits = ((idx[:, None] >> shifts) & 1).astype(bool)
-        count = idx.shape[0]
+        with prof.phase("enum.unpack"):
+            idx = np.arange(start, stop, dtype=np.int64)
+            bits = ((idx[:, None] >> shifts) & 1).astype(bool)
+            count = idx.shape[0]
 
-        site_masks = np.broadcast_to(base_site_up, (count, n)).copy()
-        link_masks = np.broadcast_to(base_link_up, (count, topology.n_links)).copy()
-        site_masks[:, free_sites] = bits[:, : free_sites.size]
-        link_masks[:, free_links] = bits[:, free_sites.size:]
+            site_masks = np.broadcast_to(base_site_up, (count, n)).copy()
+            link_masks = np.broadcast_to(
+                base_link_up, (count, topology.n_links)).copy()
+            site_masks[:, free_sites] = bits[:, : free_sites.size]
+            link_masks[:, free_links] = bits[:, free_sites.size:]
 
         # One factor per fallible component, multiplied column-by-column
         # in the same order the reference loop multiplies scalars.
-        probs = np.ones(count, dtype=np.float64)
-        for col, comp in enumerate(free_sites):
-            rel = site_rel[comp]
-            probs *= np.where(bits[:, col], rel, 1.0 - rel)
-        for col, comp in enumerate(free_links):
-            rel = link_rel[comp]
-            probs *= np.where(bits[:, free_sites.size + col], rel, 1.0 - rel)
+        with prof.phase("enum.probs"):
+            probs = np.ones(count, dtype=np.float64)
+            for col, comp in enumerate(free_sites):
+                rel = site_rel[comp]
+                probs *= np.where(bits[:, col], rel, 1.0 - rel)
+            for col, comp in enumerate(free_links):
+                rel = link_rel[comp]
+                probs *= np.where(
+                    bits[:, free_sites.size + col], rel, 1.0 - rel)
 
-        totals = batched_vote_totals(topology, site_masks, link_masks)
-        if site is None:
-            # State-major flat bins reproduce the reference's per-state
-            # ``matrix[arange(n), totals] += prob`` accumulation order;
-            # np.add.at applies the additions unbuffered, in order.
-            flat = (row_offsets[None, :] + totals).ravel()
-            np.add.at(out, flat, np.repeat(probs, n))
-        else:
-            np.add.at(out, totals[:, site], probs)
+        with prof.phase("enum.label"):
+            totals = batched_vote_totals(topology, site_masks, link_masks)
+        with prof.phase("enum.accumulate"):
+            if site is None:
+                # State-major flat bins reproduce the reference's
+                # per-state ``matrix[arange(n), totals] += prob``
+                # accumulation order; np.add.at applies the additions
+                # unbuffered, in order.
+                flat = (row_offsets[None, :] + totals).ravel()
+                np.add.at(out, flat, np.repeat(probs, n))
+            else:
+                np.add.at(out, totals[:, site], probs)
 
     return out.reshape(n, T + 1) if site is None else out
 

@@ -62,14 +62,25 @@ def _chunk_counts(
     count: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Sample ``count`` states and bin their vote totals (one labelling call)."""
-    site_masks = rng.random((count, topology.n_sites)) < site_rel
-    link_masks = rng.random((count, topology.n_links)) < link_rel
-    totals = batched_vote_totals(topology, site_masks, link_masks)
-    n, T = topology.n_sites, topology.total_votes
-    flat = np.tile(np.arange(n) * (T + 1), count) + totals.ravel()
-    counts = np.bincount(flat, minlength=n * (T + 1)).astype(np.float64)
-    return counts.reshape(n, T + 1)
+    """Sample ``count`` states and bin their vote totals (one labelling call).
+
+    Phase attribution resolves through the current recorder; pool
+    workers run with the default NULL recorder, so with ``n_workers > 1``
+    phases attribute only the blocks executed in-process.
+    """
+    from repro.telemetry.recorder import current as _current_recorder
+
+    prof = _current_recorder().phases
+    with prof.phase("mc.sample"):
+        site_masks = rng.random((count, topology.n_sites)) < site_rel
+        link_masks = rng.random((count, topology.n_links)) < link_rel
+    with prof.phase("mc.label"):
+        totals = batched_vote_totals(topology, site_masks, link_masks)
+    with prof.phase("mc.bin"):
+        n, T = topology.n_sites, topology.total_votes
+        flat = np.tile(np.arange(n) * (T + 1), count) + totals.ravel()
+        counts = np.bincount(flat, minlength=n * (T + 1)).astype(np.float64)
+        return counts.reshape(n, T + 1)
 
 
 def _chunk_counts_task(args) -> np.ndarray:

@@ -21,7 +21,11 @@ writing Python:
   QR reassignments. Exit 0 = clean, 1 = SLO/invariant failure,
   2 = usage error.
 - ``metrics``           — re-render a ``--telemetry`` JSONL stream as the
-  human report (spans, counters, quorum-decision audit).
+  human report (spans, phases, counters, quorum-decision audit).
+- ``profile``           — run a canned workload (enumeration sweep,
+  Monte-Carlo estimate, vote search, simulation, serving scenario) under
+  the tracing recorder and export a Perfetto-loadable Chrome trace plus
+  a span JSONL stream, with a phase table and critical path printed.
 - ``verify``            — the differential-verification battery: every
   applicable engine pair, the metamorphic relations, and the golden
   regression corpus. Exit 0 = all checks pass, 1 = divergence,
@@ -463,6 +467,144 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# repro profile — canned workloads under a tracing recorder
+# ----------------------------------------------------------------------
+
+def _profile_enumeration(args: argparse.Namespace, telemetry) -> None:
+    from repro.analytic import cache as density_cache
+    from repro.analytic.enumeration import enumerate_density_matrix
+    from repro.topology.generators import ring
+
+    # Bypass the density cache so the kernel (and its phases) actually
+    # run; a warm cache would profile a dictionary lookup.
+    with density_cache.disabled():
+        enumerate_density_matrix(ring(args.sites or 10), 0.96, 0.96)
+
+
+def _profile_montecarlo(args: argparse.Namespace, telemetry) -> None:
+    from repro.analytic.montecarlo import montecarlo_density_matrix
+    from repro.topology.generators import ring_with_chords
+
+    montecarlo_density_matrix(ring_with_chords(args.sites or 13, 2),
+                              0.9, 0.9, n_samples=args.samples,
+                              seed=args.seed)
+
+
+def _profile_votes(args: argparse.Namespace, telemetry) -> None:
+    from repro.quorum.vote_optimizer import optimize_votes
+    from repro.topology.generators import ring_with_chords
+
+    sites = args.sites or 12
+    optimize_votes(ring_with_chords(sites, 2), alpha=0.5,
+                   p=np.full(sites, 0.95), r=0.95, method="hillclimb",
+                   n_samples=args.samples, seed=args.seed)
+
+
+def _profile_simulate(args: argparse.Namespace, telemetry):
+    from repro.simulation.runner import run_simulation
+
+    config = _scale("test").config(2, alpha=0.5, seed=args.seed)
+    protocol = _make_protocol("majority", config.topology.total_votes, None)
+    result = run_simulation(config, protocol, telemetry=telemetry,
+                            n_workers=args.workers)
+    # Worker spans live only in the run's merged snapshot — the
+    # dispatcher's live recorder never absorbs them. Hand the merge
+    # back so the exported tree is identical for any --workers.
+    return result.telemetry
+
+
+def _profile_serve(args: argparse.Namespace, telemetry) -> None:
+    from repro.quorum.assignment import QuorumAssignment
+    from repro.serving import ServeConfig, run_serve, serving_schedule
+    from repro.simulation.workload import AccessWorkload
+    from repro.topology.generators import ring_with_chords
+
+    # The `serve --duration-short` smoke preset, with phase profiling on.
+    sites = args.sites or 13
+    topology = ring_with_chords(sites, 2)
+    config = ServeConfig(
+        topology=topology,
+        workload=AccessWorkload.uniform(sites, 0.7),
+        initial_assignment=QuorumAssignment.from_read_quorum(
+            topology.total_votes, 1
+        ),
+        n_requests=args.accesses,
+        n_clients=64,
+        seed=args.seed,
+        scenario="correlated",
+        profile_phases=True,
+    )
+    config.fault_schedule = serving_schedule("correlated", topology,
+                                             config.horizon)
+    run_serve(config, telemetry)
+
+
+_PROFILE_TARGETS = {
+    "enumeration": _profile_enumeration,
+    "montecarlo": _profile_montecarlo,
+    "votes": _profile_votes,
+    "simulate": _profile_simulate,
+    "serve": _profile_serve,
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.recorder import Telemetry
+    from repro.telemetry.recorder import use as _use_telemetry
+    from repro.telemetry.spans import SpanRecord
+    from repro.tracing.export import (
+        critical_path,
+        span_tree_digest,
+        top_phases,
+        write_chrome_trace,
+        write_span_jsonl,
+    )
+
+    runner = _PROFILE_TARGETS[args.target]
+    telemetry = Telemetry(max_spans=50_000)
+    with _use_telemetry(telemetry):
+        with telemetry.span(f"profile.{args.target}", seed=args.seed):
+            merged = runner(args, telemetry)
+    # A runner may return a pre-merged snapshot (cross-process targets);
+    # otherwise snapshot the recorder the workload ran under.
+    snapshot = merged if merged is not None else telemetry.snapshot()
+    records = [SpanRecord.from_dict(span) for span in snapshot.spans]
+
+    out = Path(args.out)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    trace_path = out.with_name(out.name + ".trace.json")
+    write_chrome_trace(trace_path, records, phases=snapshot.phases,
+                       meta={"target": args.target, "seed": args.seed})
+    spans_path = out.with_name(out.name + ".spans.jsonl")
+    with spans_path.open("w", encoding="utf-8") as handle:
+        write_span_jsonl(handle, records)
+
+    print(f"profiled {args.target} (seed {args.seed}): "
+          f"{len(records)} spans, {len(snapshot.phases)} phases")
+    print(f"  chrome trace : {trace_path}  "
+          "(load in Perfetto or chrome://tracing)")
+    print(f"  span stream  : {spans_path}")
+    print(f"  tree digest  : {span_tree_digest(records)}")
+    if snapshot.phases:
+        print()
+        print("phases (top by cumulative wall time)")
+        for entry in top_phases(snapshot.phases, limit=args.top):
+            print(f"  {entry['name']:<28} calls={entry['count']:>8} "
+                  f"wall={float(entry['wall']):.4f}s "
+                  f"cpu={float(entry['cpu']):.4f}s")
+    path = critical_path(records)
+    if len(path) > 1:
+        print()
+        print("critical path (max-wall chain)")
+        for depth, record in enumerate(path):
+            print(f"  {'  ' * depth}{record.name}  wall={record.wall:.4f}s")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.analytic import cache as density_cache
 
@@ -711,6 +853,30 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("path", help="events.jsonl file, or the directory "
                          "--telemetry-dir wrote it to")
     metrics.set_defaults(func=_cmd_metrics)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a canned workload under the tracing recorder and export "
+        "a Chrome trace (Perfetto-loadable) plus a span JSONL stream",
+    )
+    profile.add_argument("target", choices=sorted(_PROFILE_TARGETS),
+                         help="which hot path to profile")
+    profile.add_argument("--out", default="profile", metavar="PREFIX",
+                         help="output prefix; writes PREFIX.trace.json and "
+                         "PREFIX.spans.jsonl (default: profile)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--sites", type=int, default=None,
+                         help="topology size (default: per-target preset)")
+    profile.add_argument("--samples", type=int, default=20_000,
+                         help="Monte-Carlo / vote-search sample budget")
+    profile.add_argument("--accesses", type=int, default=20_000,
+                         help="client accesses for the serve target")
+    profile.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes for the simulate target; "
+                         "the span-tree digest is identical for any N")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="phases to print in the summary table")
+    profile.set_defaults(func=_cmd_profile)
 
     cache_p = sub.add_parser(
         "cache", help="cross-layer density cache statistics"

@@ -185,19 +185,24 @@ def run_chaos_campaign(
         n_batches_requested=n_batches,
         monitor=monitor,
     )
-    for index in range(n_batches):
-        monitor.start_batch(index, seed=config.seed)
-        try:
-            report.batches.append(engine.run_batch(index))
-        except BatchExecutionError as exc:
-            if fail_fast:
-                raise
-            report.quarantined.append(QuarantinedBatch.from_error(exc))
-            if telemetry.enabled:
-                telemetry.metrics.counter(
-                    "repro_chaos_quarantined_total",
-                    "chaos batches quarantined after an execution error",
-                ).inc(protocol=protocol.name)
+    from repro.tracing.context import BatchTracer
+
+    with BatchTracer(telemetry, config.seed, protocol=protocol.name,
+                     topology=config.topology.name) as tracer:
+        for index in range(n_batches):
+            monitor.start_batch(index, seed=config.seed)
+            try:
+                with tracer.batch(index):
+                    report.batches.append(engine.run_batch(index))
+            except BatchExecutionError as exc:
+                if fail_fast:
+                    raise
+                report.quarantined.append(QuarantinedBatch.from_error(exc))
+                if telemetry.enabled:
+                    telemetry.metrics.counter(
+                        "repro_chaos_quarantined_total",
+                        "chaos batches quarantined after an execution error",
+                    ).inc(protocol=protocol.name)
     if telemetry.enabled:
         report.telemetry = telemetry.snapshot(
             meta={
@@ -234,19 +239,23 @@ def _run_chaos_parallel(
         run_batches_parallel,
     )
     from repro.telemetry.snapshot import TelemetrySnapshot as _Snapshot
+    from repro.tracing.context import BatchTracer
 
-    outcomes = run_batches_parallel(
-        config,
-        protocol,
-        list(range(n_batches)),
-        n_workers,
-        record_telemetry=telemetry.enabled,
-        monitor_kwargs={
-            "raise_on_violation": monitor.raise_on_violation,
-            "record_snapshots": monitor.record_snapshots,
-            "max_records": monitor.max_records,
-        },
-    )
+    with BatchTracer(telemetry, config.seed, protocol=protocol.name,
+                     topology=config.topology.name) as tracer:
+        outcomes = run_batches_parallel(
+            config,
+            protocol,
+            list(range(n_batches)),
+            n_workers,
+            record_telemetry=telemetry.enabled,
+            monitor_kwargs={
+                "raise_on_violation": monitor.raise_on_violation,
+                "record_snapshots": monitor.record_snapshots,
+                "max_records": monitor.max_records,
+            },
+            trace_parent=tracer.root_id,
+        )
     report = ChaosReport(
         protocol_name=protocol.name,
         schedule_description=_schedule_description(config),
@@ -266,8 +275,10 @@ def _run_chaos_parallel(
         if outcome.snapshot is not None:
             snapshots.append(outcome.snapshot)
     if telemetry.enabled and snapshots:
+        # Dispatcher snapshot first: it carries the root span the batch
+        # subtrees re-parent under.
         merged = _Snapshot.merged(
-            snapshots,
+            [telemetry.snapshot()] + snapshots,
             meta={
                 "mode": "chaos",
                 "protocol": protocol.name,

@@ -229,7 +229,8 @@ def optimal_read_quorum(
     if not tel.enabled:
         return strategy(model, alpha)
     with tel.span("optimizer.sweep", method=method, alpha=alpha,
-                  total_votes=model.total_votes):
+                  total_votes=model.total_votes), \
+            tel.phases.phase(f"optimizer.{method}"):
         result = strategy(model, alpha)
     tel.metrics.counter(
         "repro_optimizer_sweeps_total", "Figure-1 optimizer sweeps run",

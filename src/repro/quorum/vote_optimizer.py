@@ -49,6 +49,7 @@ from repro.errors import OptimizationError, VoteAssignmentError
 from repro.quorum.availability import AvailabilityModel
 from repro.quorum.optimizer import OptimizationResult, optimal_read_quorum
 from repro.rng import RandomState, as_generator
+from repro.telemetry.recorder import current as _current_recorder
 from repro.topology.model import Topology
 from dataclasses import dataclass
 
@@ -110,9 +111,10 @@ class _StateSample:
             )
         self.site_masks = rng.random((n_samples, topology.n_sites)) < site_rel
         link_draws = rng.random((n_samples, topology.n_links))
-        self.labels = batched_component_labels(
-            topology, self.site_masks, link_draws < link_rel
-        )
+        with _current_recorder().phases.phase("votesearch.label"):
+            self.labels = batched_component_labels(
+                topology, self.site_masks, link_draws < link_rel
+            )
         self.n_samples = n_samples
         self.n_sites = topology.n_sites
 
@@ -143,24 +145,25 @@ class _StateSample:
         flat position into ``labels.ravel()``, down entries at 0) feeds
         :meth:`moved_counts`.
         """
-        votes = np.asarray(votes, dtype=np.int64)
-        n, T = self.n_sites, int(votes.sum())
-        if self._up_labels.size:
-            comp_sums = np.bincount(
-                self._up_labels,
-                weights=votes[self._up_sites].astype(np.float64),
-                minlength=self._n_components,
-            )
-            totals_up = comp_sums[self._up_labels].astype(np.int64)
-        else:
-            totals_up = np.empty(0, dtype=np.int64)
-        bins = self._up_sites * (T + 1) + totals_up
-        counts = np.bincount(bins, minlength=n * (T + 1)).astype(np.float64)
-        counts = counts.reshape(n, T + 1)
-        counts[:, 0] += self._down_counts
-        totals_flat = np.zeros(self.n_samples * n, dtype=np.int64)
-        totals_flat[self._up_pos] = totals_up
-        return counts, totals_flat
+        with _current_recorder().phases.phase("votesearch.score"):
+            votes = np.asarray(votes, dtype=np.int64)
+            n, T = self.n_sites, int(votes.sum())
+            if self._up_labels.size:
+                comp_sums = np.bincount(
+                    self._up_labels,
+                    weights=votes[self._up_sites].astype(np.float64),
+                    minlength=self._n_components,
+                )
+                totals_up = comp_sums[self._up_labels].astype(np.int64)
+            else:
+                totals_up = np.empty(0, dtype=np.int64)
+            bins = self._up_sites * (T + 1) + totals_up
+            counts = np.bincount(bins, minlength=n * (T + 1)).astype(np.float64)
+            counts = counts.reshape(n, T + 1)
+            counts[:, 0] += self._down_counts
+            totals_flat = np.zeros(self.n_samples * n, dtype=np.int64)
+            totals_flat[self._up_pos] = totals_up
+            return counts, totals_flat
 
     def moved_counts(
         self,
@@ -182,23 +185,25 @@ class _StateSample:
         """
         if votes[a] <= 0:
             raise OptimizationError(f"site {a} has no vote to move")
-        n, T = self.n_sites, int(np.asarray(votes).sum())
-        la = self.labels[:, a]
-        lb = self.labels[:, b]
-        out = counts.copy()
-        flat_out = out.reshape(-1)
-        separated = la != lb
-        for comps, delta in (
-            (la[(la >= 0) & separated], -1),
-            (lb[(lb >= 0) & separated], +1),
-        ):
-            if comps.size == 0:
-                continue
-            entries = gather_groups(self._comp_entries, self._comp_starts, comps)
-            old_bins = (entries % n) * (T + 1) + totals_flat[entries]
-            flat_out -= np.bincount(old_bins, minlength=n * (T + 1))
-            flat_out += np.bincount(old_bins + delta, minlength=n * (T + 1))
-        return out
+        with _current_recorder().phases.phase("votesearch.delta"):
+            n, T = self.n_sites, int(np.asarray(votes).sum())
+            la = self.labels[:, a]
+            lb = self.labels[:, b]
+            out = counts.copy()
+            flat_out = out.reshape(-1)
+            separated = la != lb
+            for comps, delta in (
+                (la[(la >= 0) & separated], -1),
+                (lb[(lb >= 0) & separated], +1),
+            ):
+                if comps.size == 0:
+                    continue
+                entries = gather_groups(
+                    self._comp_entries, self._comp_starts, comps)
+                old_bins = (entries % n) * (T + 1) + totals_flat[entries]
+                flat_out -= np.bincount(old_bins, minlength=n * (T + 1))
+                flat_out += np.bincount(old_bins + delta, minlength=n * (T + 1))
+            return out
 
     def density_matrix(self, votes: np.ndarray) -> np.ndarray:
         """Empirical per-site density of component votes under ``votes``."""

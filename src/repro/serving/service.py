@@ -55,7 +55,10 @@ from repro.serving.report import ReassignmentEvent, ServeReport, outcome_code
 from repro.serving.requests import RequestStream
 from repro.simulation.events import EventKind
 from repro.telemetry.recorder import Telemetry
-from repro.telemetry.recorder import resolve as _resolve_telemetry
+from repro.telemetry.recorder import current as _current_telemetry
+from repro.telemetry.spans import NULL_SPAN
+from repro.tracing.context import SCOPE_SERVE, TraceContext
+from repro.tracing.profiler import NULL_PROFILER
 
 __all__ = ["AdaptiveQuorumService", "run_serve"]
 
@@ -153,13 +156,29 @@ class AdaptiveQuorumService:
 
     def __init__(self, config: ServeConfig, telemetry=None) -> None:
         self.config = config
-        tel = _resolve_telemetry(telemetry)
-        if not tel.enabled:
-            # Reconciliation requires the exact audit totals, so the
-            # service always records into a live recorder — a private one
-            # when the caller did not supply theirs.
-            tel = Telemetry()
+        # Reconciliation requires THIS run's exact audit totals, so the
+        # service only adopts a recorder handed over *explicitly*; the
+        # ambient recorder may span several runs (a benchmark loop, a
+        # verification battery) and its cumulative audit would never
+        # reconcile. Without an explicit recorder the service records
+        # into a live private one.
+        explicit = telemetry is not None and getattr(telemetry, "enabled", False)
+        tel = telemetry if explicit else Telemetry()
         self.telemetry = tel
+        # Phase attribution has no per-run reconciliation, so it *does*
+        # flow to the ambient recorder when one is installed — that is
+        # how benchmark rounds accumulate their serve.* phase tables.
+        ambient = _current_telemetry()
+        self._profiling = (explicit or ambient.enabled
+                           or config.profile_phases)
+        if explicit:
+            self._prof = tel.phases
+        elif ambient.enabled:
+            self._prof = ambient.phases
+        elif config.profile_phases:
+            self._prof = tel.phases
+        else:
+            self._prof = NULL_PROFILER
 
         topology = config.topology
         self.n_sites = topology.n_sites
@@ -265,18 +284,22 @@ class AdaptiveQuorumService:
     # Network changes, degradation, invariants
     # ------------------------------------------------------------------
     def _apply_fault(self, kind: EventKind, target: int) -> None:
-        self._flush_observation()
-        if kind is EventKind.SITE_FAIL:
-            self.db.fail_site(target)
-        elif kind is EventKind.SITE_REPAIR:
-            self.db.repair_site(target)
-        else:
-            link = self.db.topology.links[target]
-            if kind is EventKind.LINK_FAIL:
-                self.db.fail_link(link.a, link.b)
+        span = (self.telemetry.span("serve.fault.apply", kind=kind.name,
+                                    target=target, t=self.now)
+                if self._profiling else NULL_SPAN)
+        with span, self._prof.phase("serve.fault"):
+            self._flush_observation()
+            if kind is EventKind.SITE_FAIL:
+                self.db.fail_site(target)
+            elif kind is EventKind.SITE_REPAIR:
+                self.db.repair_site(target)
             else:
-                self.db.repair_link(link.a, link.b)
-        self._after_network_change()
+                link = self.db.topology.links[target]
+                if kind is EventKind.LINK_FAIL:
+                    self.db.fail_link(link.a, link.b)
+                else:
+                    self.db.repair_link(link.a, link.b)
+            self._after_network_change()
 
     def _after_network_change(self) -> None:
         self.monitor.observe(self.now, self.db.tracker, self.protocol)
@@ -299,54 +322,59 @@ class AdaptiveQuorumService:
     # Request lifecycle
     # ------------------------------------------------------------------
     def _admit(self, rid: int, at: float, site: int, is_read: bool) -> None:
-        self._advance(at)
-        self.workload_est.observe(site, is_read)
-        if not self.breakers.allow(site, self.now):
-            self._record(rid, _CODE_CIRCUIT_OPEN, 0)
-            return
-        if self._read_only and not is_read and self.config.read_only_fast_reject:
-            self._record(rid, _CODE_READ_ONLY, 0)
-            return
-        if len(self._waiting) >= self.config.queue_capacity:
-            self._shed += 1
-            self._record(rid, _CODE_OVERLOAD, 0)
-            return
-        self._attempt(_Pending(rid, site, is_read, self.now))
+        with self._prof.phase("serve.admit"):
+            self._advance(at)
+            self.workload_est.observe(site, is_read)
+            if not self.breakers.allow(site, self.now):
+                self._record(rid, _CODE_CIRCUIT_OPEN, 0)
+                return
+            if (self._read_only and not is_read
+                    and self.config.read_only_fast_reject):
+                self._record(rid, _CODE_READ_ONLY, 0)
+                return
+            if len(self._waiting) >= self.config.queue_capacity:
+                self._shed += 1
+                self._record(rid, _CODE_OVERLOAD, 0)
+                return
+            pending = _Pending(rid, site, is_read, self.now)
+        self._attempt(pending)
 
     def _attempt(self, pending: _Pending) -> None:
-        pending.attempts += 1
-        site = pending.site
-        if pending.is_read:
-            result = self.db.submit_read(site)
-            op = "read"
-        else:
-            result = self.db.submit_write(site, pending.rid)
-            op = "write"
-        # The refined audit cause (incl. no_quorum -> stale_assignment),
-        # exactly as the audit log recorded it — reconciliation by
-        # construction, not by re-deriving the refinement here.
-        cause = self.db.last_audit_reason or result.outcome.value
-        key = (op, cause)
-        self._db_counts[key] = self._db_counts.get(key, 0) + 1
+        with self._prof.phase("serve.attempt"):
+            pending.attempts += 1
+            site = pending.site
+            if pending.is_read:
+                result = self.db.submit_read(site)
+                op = "read"
+            else:
+                result = self.db.submit_write(site, pending.rid)
+                op = "write"
+            # The refined audit cause (incl. no_quorum ->
+            # stale_assignment), exactly as the audit log recorded it —
+            # reconciliation by construction, not by re-deriving the
+            # refinement here.
+            cause = self.db.last_audit_reason or result.outcome.value
+            key = (op, cause)
+            self._db_counts[key] = self._db_counts.get(key, 0) + 1
 
-        if result.granted:
-            self.breakers.on_success(site)
-            self._latency.observe(self.now - pending.submit)
-            self._record(pending.rid, _CODE_GRANTED, pending.attempts)
-            return
-
-        policy = self.config.retry_policy
-        if pending.attempts < policy.max_attempts:
-            delay = policy.backoff(pending.attempts, self._retry_rng)
-            if policy.within_deadline(self.now + delay - pending.submit):
-                self._retries_scheduled += 1
-                self._c_retry_attempts.inc(op=op, cause=cause)
-                self._waiting[pending.rid] = pending
-                self._push(self.now + delay, _RETRY, pending)
+            if result.granted:
+                self.breakers.on_success(site)
+                self._latency.observe(self.now - pending.submit)
+                self._record(pending.rid, _CODE_GRANTED, pending.attempts)
                 return
-            self._finish_denied(pending, op, cause, _CODE_TIMEOUT)
-            return
-        self._finish_denied(pending, op, cause, _CODE_BY_CAUSE[cause])
+
+            policy = self.config.retry_policy
+            if pending.attempts < policy.max_attempts:
+                delay = policy.backoff(pending.attempts, self._retry_rng)
+                if policy.within_deadline(self.now + delay - pending.submit):
+                    self._retries_scheduled += 1
+                    self._c_retry_attempts.inc(op=op, cause=cause)
+                    self._waiting[pending.rid] = pending
+                    self._push(self.now + delay, _RETRY, pending)
+                    return
+                self._finish_denied(pending, op, cause, _CODE_TIMEOUT)
+                return
+            self._finish_denied(pending, op, cause, _CODE_BY_CAUSE[cause])
 
     def _finish_denied(self, pending: _Pending, op: str, cause: str,
                        code: int) -> None:
@@ -368,9 +396,12 @@ class AdaptiveQuorumService:
     # Adaptive control loop
     # ------------------------------------------------------------------
     def _control_tick(self) -> None:
-        self._flush_observation()
-        self._maybe_reassign("control")
-        self._push(self.now + self.config.control_interval, _CONTROL, None)
+        span = (self.telemetry.span("serve.control.tick", t=self.now)
+                if self._profiling else NULL_SPAN)
+        with span, self._prof.phase("serve.control"):
+            self._flush_observation()
+            self._maybe_reassign("control")
+            self._push(self.now + self.config.control_interval, _CONTROL, None)
 
     def _estimate(self):
         """(model, alpha) from online estimates, or None if starved."""
@@ -445,6 +476,10 @@ class AdaptiveQuorumService:
         return False
 
     def _watchdog_tick(self) -> None:
+        with self._prof.phase("serve.watchdog"):
+            self._watchdog_tick_inner()
+
+    def _watchdog_tick_inner(self) -> None:
         self._watchdog_ticks += 1
         if self._pending_target is not None:
             target, since = self._pending_target
@@ -479,14 +514,17 @@ class AdaptiveQuorumService:
         async def refill() -> None:
             # Reassemble chunks into contiguous global id order; feeder
             # scheduling decides only *when* chunks show up, never the
-            # order requests are processed in.
+            # order requests are processed in. The serve.transport phase
+            # includes the wait on the queue, so it measures how long the
+            # sequencer is starved by the transport layer.
             nonlocal next_chunk
-            while not arrivals and next_chunk < n_chunks:
-                index, chunk = await transport.get()
-                buffered[index] = chunk
-                while next_chunk in buffered:
-                    arrivals.extend(buffered.pop(next_chunk).rows())
-                    next_chunk += 1
+            with self._prof.phase("serve.transport"):
+                while not arrivals and next_chunk < n_chunks:
+                    index, chunk = await transport.get()
+                    buffered[index] = chunk
+                    while next_chunk in buffered:
+                        arrivals.extend(buffered.pop(next_chunk).rows())
+                        next_chunk += 1
 
         while not self._aborted:
             await refill()
@@ -515,22 +553,32 @@ class AdaptiveQuorumService:
 
     async def run_async(self) -> ServeReport:
         started = _walltime.perf_counter()
-        transport: asyncio.Queue = asyncio.Queue(
-            maxsize=self.config.transport_slots
-        )
-        feeders = [
-            asyncio.create_task(self._feed(transport, client))
-            for client in range(self._n_feeders)
-        ]
-        try:
-            await self._engine(transport)
-        finally:
-            # Clean shutdown: the sequencer has drained (or aborted);
-            # feeders holding undelivered chunks are cancelled.
-            for feeder in feeders:
-                feeder.cancel()
-            await asyncio.gather(*feeders, return_exceptions=True)
-        return self._build_report(_walltime.perf_counter() - started)
+        # Serve-scope trace context: span ids derive from
+        # (seed, "serve", ordinal), and the sequencer opens spans in
+        # deterministic sim-time order, so the exported tree is identical
+        # for any --clients / transport_slots value.
+        serve_ctx = TraceContext(self.config.seed, SCOPE_SERVE, 0)
+        with self.telemetry.spans.scoped(serve_ctx), \
+                self.telemetry.span("serve.run",
+                                    scenario=self.config.scenario,
+                                    n_requests=self.config.n_requests,
+                                    seed=self.config.seed):
+            transport: asyncio.Queue = asyncio.Queue(
+                maxsize=self.config.transport_slots
+            )
+            feeders = [
+                asyncio.create_task(self._feed(transport, client))
+                for client in range(self._n_feeders)
+            ]
+            try:
+                await self._engine(transport)
+            finally:
+                # Clean shutdown: the sequencer has drained (or aborted);
+                # feeders holding undelivered chunks are cancelled.
+                for feeder in feeders:
+                    feeder.cancel()
+                await asyncio.gather(*feeders, return_exceptions=True)
+            return self._build_report(_walltime.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Final reconciled snapshot

@@ -38,8 +38,10 @@ from repro.faults.monitor import InvariantMonitor, ViolationRecord
 from repro.protocols.base import ReplicaControlProtocol
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import BatchResult, SimulationEngine
+from repro.telemetry import recorder
 from repro.telemetry.recorder import Telemetry
 from repro.telemetry.snapshot import TelemetrySnapshot
+from repro.tracing.context import SCOPE_BATCH, TraceContext
 
 __all__ = [
     "BatchOutcome",
@@ -76,11 +78,13 @@ def _init_worker(
     protocol: ReplicaControlProtocol,
     record_telemetry: bool,
     monitor_kwargs: Optional[dict],
+    trace_parent: Optional[int] = None,
 ) -> None:
     _WORKER["config"] = config
     _WORKER["protocol"] = protocol
     _WORKER["record_telemetry"] = record_telemetry
     _WORKER["monitor_kwargs"] = monitor_kwargs
+    _WORKER["trace_parent"] = trace_parent
 
 
 def _run_one_batch(batch_index: int) -> BatchOutcome:
@@ -103,7 +107,18 @@ def _run_one_batch(batch_index: int) -> BatchOutcome:
     )
     outcome = BatchOutcome(batch_index=batch_index)
     try:
-        outcome.batch = engine.run_batch(batch_index)
+        if telemetry is not None:
+            # Batch-scope trace context: span ids derive from
+            # (seed, batch_index, ordinal) and worker-root spans adopt
+            # the dispatching span as parent, so the merged tree is
+            # identical to a serial run's. `use` makes the recorder
+            # visible to kernels that resolve via recorder.current().
+            context = TraceContext(config.seed, SCOPE_BATCH, batch_index,
+                                   _WORKER.get("trace_parent"))
+            with recorder.use(telemetry), telemetry.spans.scoped(context):
+                outcome.batch = engine.run_batch(batch_index)
+        else:
+            outcome.batch = engine.run_batch(batch_index)
     except BatchExecutionError as exc:
         # Break the traceback/cause chain before pickling: the cause may
         # hold arbitrary (unpicklable) protocol state. The quarantine
@@ -148,20 +163,24 @@ def run_batches_parallel(
     n_workers: int,
     record_telemetry: bool = False,
     monitor_kwargs: Optional[dict] = None,
+    trace_parent: Optional[int] = None,
 ) -> List[BatchOutcome]:
     """Fan ``batch_indices`` out over a process pool; outcomes in index order.
 
     ``monitor_kwargs`` (e.g. ``{"max_records": 1000}``) attaches a fresh
     :class:`InvariantMonitor` per batch inside each worker; ``None``
-    means no monitoring. The returned list is sorted by batch index, so
-    every downstream aggregation is deterministic regardless of pool
+    means no monitoring. ``trace_parent`` is the dispatching span id
+    (``BatchTracer.root_id``) that worker-local root spans re-parent
+    under. The returned list is sorted by batch index, so every
+    downstream aggregation is deterministic regardless of pool
     scheduling.
     """
     indices = list(batch_indices)
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(indices)),
         initializer=_init_worker,
-        initargs=(config, protocol, record_telemetry, monitor_kwargs),
+        initargs=(config, protocol, record_telemetry, monitor_kwargs,
+                  trace_parent),
     ) as pool:
         outcomes = list(pool.map(_run_one_batch, indices))
     outcomes.sort(key=lambda outcome: outcome.batch_index)

@@ -29,6 +29,7 @@ from repro.simulation.stats import BatchStatistics
 from repro.simulation.trace import NetworkTrace
 from repro.telemetry.recorder import resolve as _resolve_telemetry
 from repro.telemetry.snapshot import TelemetrySnapshot
+from repro.tracing.context import BatchTracer
 
 __all__ = ["QuarantinedBatch", "SimulationResult", "run_simulation"]
 
@@ -297,32 +298,41 @@ def run_simulation(
                               telemetry=telemetry)
     batches: List[BatchResult] = []
     quarantined: List[QuarantinedBatch] = []
+    # The serial twin uses the same deterministic trace contexts as the
+    # pool workers, so its span tree (ids and all) matches any parallel
+    # run of the same config bit for bit.
+    tracer = BatchTracer(telemetry, config.seed,
+                         protocol=protocol.name,
+                         topology=config.topology.name)
 
     def attempt(index: int) -> None:
         try:
-            batches.append(engine.run_batch(index))
+            with tracer.batch(index):
+                batches.append(engine.run_batch(index))
         except BatchExecutionError as exc:
             if fail_fast:
                 raise
             quarantined.append(QuarantinedBatch.from_error(exc))
 
-    for k in range(config.n_batches):
-        attempt(k)
-    if not batches:
-        raise SimulationError(
-            f"every batch failed ({len(quarantined)} quarantined); first: "
-            f"{quarantined[0].describe()}"
-        )
-    result = SimulationResult(config, protocol.name, batches, quarantined)
-    if target_half_width is not None:
-        next_index = config.n_batches
-        while (
-            not result.availability.meets_precision(target_half_width)
-            and len(batches) + len(quarantined) < max_batches
-        ):
-            attempt(next_index)
-            next_index += 1
-            result = SimulationResult(config, protocol.name, batches, quarantined)
+    with tracer:
+        for k in range(config.n_batches):
+            attempt(k)
+        if not batches:
+            raise SimulationError(
+                f"every batch failed ({len(quarantined)} quarantined); first: "
+                f"{quarantined[0].describe()}"
+            )
+        result = SimulationResult(config, protocol.name, batches, quarantined)
+        if target_half_width is not None:
+            next_index = config.n_batches
+            while (
+                not result.availability.meets_precision(target_half_width)
+                and len(batches) + len(quarantined) < max_batches
+            ):
+                attempt(next_index)
+                next_index += 1
+                result = SimulationResult(config, protocol.name, batches,
+                                          quarantined)
     if telemetry.enabled:
         result.telemetry = telemetry.snapshot(
             meta={
@@ -351,11 +361,15 @@ def _run_simulation_parallel(
     batches: List[BatchResult] = []
     quarantined: List[QuarantinedBatch] = []
     snapshots: List[TelemetrySnapshot] = []
+    tracer = BatchTracer(telemetry, config.seed,
+                         protocol=protocol.name,
+                         topology=config.topology.name)
 
     def run_wave(indices: List[int]) -> None:
         outcomes = run_batches_parallel(
             config, protocol, indices, n_workers,
             record_telemetry=telemetry.enabled,
+            trace_parent=tracer.root_id,
         )
         for outcome in outcomes:
             if outcome.quarantine_error is not None:
@@ -368,27 +382,32 @@ def _run_simulation_parallel(
             if outcome.snapshot is not None:
                 snapshots.append(outcome.snapshot)
 
-    run_wave(list(range(config.n_batches)))
-    if not batches:
-        raise SimulationError(
-            f"every batch failed ({len(quarantined)} quarantined); first: "
-            f"{quarantined[0].describe()}"
-        )
-    result = SimulationResult(config, protocol.name, batches, quarantined)
-    next_index = config.n_batches
-    while (
-        target_half_width is not None
-        and not result.availability.meets_precision(target_half_width)
-        and len(batches) + len(quarantined) < max_batches
-    ):
-        budget = max_batches - len(batches) - len(quarantined)
-        wave = list(range(next_index, next_index + min(n_workers, budget)))
-        next_index += len(wave)
-        run_wave(wave)
+    with tracer:
+        run_wave(list(range(config.n_batches)))
+        if not batches:
+            raise SimulationError(
+                f"every batch failed ({len(quarantined)} quarantined); first: "
+                f"{quarantined[0].describe()}"
+            )
         result = SimulationResult(config, protocol.name, batches, quarantined)
+        next_index = config.n_batches
+        while (
+            target_half_width is not None
+            and not result.availability.meets_precision(target_half_width)
+            and len(batches) + len(quarantined) < max_batches
+        ):
+            budget = max_batches - len(batches) - len(quarantined)
+            wave = list(range(next_index, next_index + min(n_workers, budget)))
+            next_index += len(wave)
+            run_wave(wave)
+            result = SimulationResult(config, protocol.name, batches,
+                                      quarantined)
     if telemetry.enabled and snapshots:
+        # The dispatcher's own snapshot goes first: it holds the root
+        # span the per-batch subtrees re-parent under (plus any spans
+        # recorded in this process before the fan-out).
         result.telemetry = TelemetrySnapshot.merged(
-            snapshots,
+            [telemetry.snapshot()] + snapshots,
             meta={
                 "protocol": protocol.name,
                 "topology": config.topology.name,

@@ -147,6 +147,35 @@ def render_report(snapshot: TelemetrySnapshot) -> str:
             lines.append(f"  ({snapshot.span_overflow} spans beyond the record cap; "
                          "aggregates above remain exact)")
 
+    if snapshot.phases:
+        from repro.tracing.export import top_phases
+
+        lines.append("")
+        lines.append("phases (top by cumulative wall time)")
+        lines.append(f"  {'name':<32} {'calls':>9} {'wall s':>10} {'cpu s':>10}")
+        for entry in top_phases(snapshot.phases, limit=10):
+            lines.append(
+                f"  {entry['name']:<32} {entry['count']:>9} "
+                f"{float(entry['wall']):>10.4f} {float(entry['cpu']):>10.4f}"
+            )
+        if len(snapshot.phases) > 10:
+            lines.append(f"  (+ {len(snapshot.phases) - 10} more phases)")
+
+    if snapshot.spans:
+        from repro.telemetry.spans import SpanRecord
+        from repro.tracing.export import critical_path
+
+        path = critical_path(
+            [SpanRecord.from_dict(span) for span in snapshot.spans])
+        if len(path) > 1:
+            lines.append("")
+            lines.append("critical path (max-wall chain through the span tree)")
+            for depth, record in enumerate(path):
+                lines.append(
+                    f"  {'  ' * depth}{record.name}  "
+                    f"wall={record.wall:.4f}s cpu={record.cpu:.4f}s"
+                )
+
     interesting = [
         metric for metric in snapshot.counters
         if metric["name"] != "repro_span_seconds" and metric["series"]

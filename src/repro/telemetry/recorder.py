@@ -29,6 +29,7 @@ from typing import Iterator, Optional, Union
 from repro.telemetry.audit import AuditLog
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.spans import NULL_SPAN, SpanCollector
+from repro.tracing.profiler import NULL_PROFILER, PhaseProfiler
 
 __all__ = [
     "Telemetry",
@@ -49,8 +50,15 @@ class Telemetry:
     def __init__(self, max_spans: int = 10_000,
                  max_audit_records: int = 50_000) -> None:
         self.metrics = MetricsRegistry()
-        self.spans = SpanCollector(max_spans=max_spans)
+        self.spans = SpanCollector(
+            max_spans=max_spans,
+            dropped_counter=self.metrics.counter(
+                "repro_spans_dropped_total",
+                "finished spans discarded past the collector cap",
+            ),
+        )
         self.audit = AuditLog(max_records=max_audit_records)
+        self.phases = PhaseProfiler()
 
     # Convenience pass-throughs -----------------------------------------
     def span(self, name: str, **attrs: object):
@@ -156,6 +164,7 @@ class NullTelemetry:
     def __init__(self) -> None:
         self.metrics = _NullRegistry()
         self.audit = _NullAudit()
+        self.phases = NULL_PROFILER
 
     def span(self, name: str, **attrs: object):
         return NULL_SPAN

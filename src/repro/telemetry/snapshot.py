@@ -20,8 +20,10 @@ from repro.telemetry.audit import GRANTED
 
 __all__ = ["TelemetrySnapshot"]
 
-#: Serialization format version for the JSON-lines stream.
-SCHEMA_VERSION = 1
+#: Serialization format version for the JSON-lines stream. v2 adds
+#: ``phase`` records (PR 7); v1 streams are still readable.
+SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 
 
 def _labels_dict(key) -> Dict[str, str]:
@@ -38,6 +40,7 @@ class TelemetrySnapshot:
     histograms: List[Dict[str, object]] = field(default_factory=list)
     spans: List[Dict[str, object]] = field(default_factory=list)
     span_overflow: int = 0
+    phases: List[Dict[str, object]] = field(default_factory=list)
     audit_records: List[Dict[str, object]] = field(default_factory=list)
     audit_totals: List[Dict[str, object]] = field(default_factory=list)
     audit_overflow: int = 0
@@ -61,6 +64,8 @@ class TelemetrySnapshot:
                 snap.histograms.append(_histogram_metric(metric))
         snap.spans = [record.to_dict() for record in telemetry.spans.records]
         snap.span_overflow = telemetry.spans.overflowed
+        profiler = getattr(telemetry, "phases", None)
+        snap.phases = profiler.snapshot() if profiler is not None else []
         snap.audit_records = [record.to_dict() for record in telemetry.audit.records]
         snap.audit_totals = telemetry.audit.totals_as_dicts()
         snap.audit_overflow = telemetry.audit.overflowed
@@ -90,6 +95,7 @@ class TelemetrySnapshot:
           interpolates within the merged cumulative bucket profile.
           A series present in only one snapshot is copied verbatim.
         - **spans / audit records** — concatenate; overflow counts add.
+        - **phases** — (count, wall, cpu) add per phase name.
         """
         if not snapshots:
             raise ReproError("cannot merge zero telemetry snapshots")
@@ -101,6 +107,9 @@ class TelemetrySnapshot:
         snap.counters = _merge_scalar([s.counters for s in snapshots], add=True)
         snap.gauges = _merge_scalar([s.gauges for s in snapshots], add=False)
         snap.histograms = _merge_histograms([s.histograms for s in snapshots])
+        from repro.tracing.profiler import merge_phase_lists
+
+        snap.phases = merge_phase_lists(s.phases for s in snapshots)
         for source in snapshots:
             snap.spans.extend(source.spans)
             snap.span_overflow += source.span_overflow
@@ -205,6 +214,8 @@ class TelemetrySnapshot:
                 yield {"type": kind, **metric}
         for span in self.spans:
             yield {"type": "span", **span}
+        for phase in self.phases:
+            yield {"type": "phase", **phase}
         for record in self.audit_records:
             yield {"type": "audit", **record}
         for total in self.audit_totals:
@@ -219,10 +230,10 @@ class TelemetrySnapshot:
             payload = {k: v for k, v in record.items() if k != "type"}
             if kind == "meta":
                 schema = int(payload.get("schema", 0))
-                if schema != SCHEMA_VERSION:
+                if schema not in _READABLE_SCHEMAS:
                     raise ReproError(
                         f"telemetry stream schema {schema} not supported "
-                        f"(expected {SCHEMA_VERSION})"
+                        f"(expected one of {_READABLE_SCHEMAS})"
                     )
                 snap.meta = dict(payload.get("meta", {}))
                 snap.span_overflow = int(payload.get("span_overflow", 0))
@@ -236,6 +247,8 @@ class TelemetrySnapshot:
                 snap.histograms.append(payload)
             elif kind == "span":
                 snap.spans.append(payload)
+            elif kind == "phase":
+                snap.phases.append(payload)
             elif kind == "audit":
                 snap.audit_records.append(payload)
             elif kind == "audit_total":

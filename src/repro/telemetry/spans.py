@@ -8,16 +8,26 @@ exported span tree reconstructs exactly where time went. Both wall time
 or GC stalls are distinguishable from compute.
 
 Finished spans are kept up to ``max_spans``; beyond that they are
-dropped (counted in ``overflowed``) but their durations still feed the
-``repro_span_seconds`` histogram, so aggregate timings stay exact even
-on runs with millions of spans.
+dropped (counted in ``overflowed`` and, when the collector was handed a
+``repro_spans_dropped_total`` counter, incremented per span name so the
+loss is visible in every snapshot and merge) but their durations still
+feed the ``repro_span_seconds`` histogram, so aggregate timings stay
+exact even on runs with millions of spans.
+
+While a :class:`~repro.tracing.context.TraceContext` is active
+(:meth:`SpanCollector.scoped`), span ids come from the context's
+deterministic derivation instead of the sequential counter, and a span
+opened with an empty stack adopts the context's ``parent_span_id`` —
+this is how worker-local spans re-parent under the dispatching span
+when snapshots merge across the process pool.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
 
 from repro.telemetry.metrics import Histogram
 
@@ -79,10 +89,19 @@ class ActiveSpan:
 
     def __enter__(self) -> "ActiveSpan":
         collector = self._collector
-        self.span_id = collector._next_id
-        collector._next_id += 1
+        context = collector._context
+        if context is not None:
+            self.span_id = context.span_id(collector._ctx_ordinal)
+            collector._ctx_ordinal += 1
+        else:
+            self.span_id = collector._next_id
+            collector._next_id += 1
         stack = collector._stack
-        self.parent_id = stack[-1].span_id if stack else None
+        if stack:
+            self.parent_id = stack[-1].span_id
+        else:
+            self.parent_id = (context.parent_span_id
+                              if context is not None else None)
         stack.append(self)
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
@@ -119,24 +138,50 @@ NULL_SPAN = _NullSpan()
 class SpanCollector:
     """Collects finished spans and aggregates their durations."""
 
-    def __init__(self, max_spans: int = 10_000) -> None:
+    def __init__(self, max_spans: int = 10_000,
+                 dropped_counter=None) -> None:
         self.max_spans = int(max_spans)
         self.records: List[SpanRecord] = []
         self.overflowed = 0
+        #: Counter-like sink for ``repro_spans_dropped_total`` (by name);
+        #: None keeps the collector usable standalone.
+        self.dropped_counter = dropped_counter
         self.seconds = Histogram(
             "repro_span_seconds", "wall-clock duration of traced spans",
         )
         self._stack: List[ActiveSpan] = []
         self._next_id = 1
         self._epoch = time.perf_counter()
+        self._context = None  # active TraceContext, if any
+        self._ctx_ordinal = 0
 
     def span(self, name: str, **attrs: object) -> ActiveSpan:
         return ActiveSpan(self, name, attrs)
+
+    @contextmanager
+    def scoped(self, context) -> Iterator[None]:
+        """Derive ids from ``context`` for spans opened in this block.
+
+        Contexts nest (the previous one is restored on exit) and each
+        activation restarts the ordinal at 0, so the ids produced inside
+        a ``scoped`` block depend only on the context coordinates and
+        the (deterministic) order spans are opened in — not on how many
+        spans any *other* context or the sequential counter issued.
+        """
+        previous = (self._context, self._ctx_ordinal)
+        self._context = context
+        self._ctx_ordinal = 0
+        try:
+            yield
+        finally:
+            self._context, self._ctx_ordinal = previous
 
     def _finish(self, span: ActiveSpan, wall: float, cpu: float) -> None:
         self.seconds.observe(wall, name=span.name)
         if len(self.records) >= self.max_spans:
             self.overflowed += 1
+            if self.dropped_counter is not None:
+                self.dropped_counter.inc(name=span.name)
             return
         self.records.append(
             SpanRecord(

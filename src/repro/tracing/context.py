@@ -1,0 +1,141 @@
+"""Trace-context propagation: deterministic span identity across processes.
+
+PR 3's process-pool fan-out made batches independent by construction,
+which also severed the span tree at the process boundary: every worker's
+:class:`~repro.telemetry.spans.SpanCollector` restarted its sequential
+span ids at 1, so merged snapshots carried colliding ids and orphaned
+roots. A :class:`TraceContext` repairs both:
+
+- **Deterministic ids.** While a context is active on a collector, span
+  ids are derived from ``(seed, scope, index, ordinal)`` by a keyed
+  64-bit hash instead of the sequential counter. The ordinal is the
+  span's creation rank *within the context*, and the sequencing of every
+  traced layer is already a pure function of the configuration, so the
+  id of every span — and therefore the whole exported tree — is bitwise
+  identical for any ``--workers`` / ``--clients`` value.
+- **Re-parenting.** A context carries the span id of the dispatching
+  span in the parent process; worker-local root spans adopt it as their
+  parent, so merged snapshots reconstruct one tree spanning the fan-out.
+
+:class:`BatchTracer` packages the idiom shared by the serial and
+parallel twins of ``run_simulation`` / ``run_chaos_campaign``: one root
+span under the run-scope context, one batch-scope context per batch.
+Because both twins derive ids from the same ``(seed, batch_index)``
+coordinates, the serial run and any parallel run produce the same tree
+digest (:func:`repro.tracing.export.span_tree_digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "SCOPE_RUN",
+    "SCOPE_BATCH",
+    "SCOPE_SERVE",
+    "TraceContext",
+    "BatchTracer",
+]
+
+#: Context scopes (part of the id-derivation key, so scopes never collide).
+SCOPE_RUN = "run"
+SCOPE_BATCH = "batch"
+SCOPE_SERVE = "serve"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One deterministic id namespace; picklable, so it crosses the pool.
+
+    ``seed`` is the run's configuration seed (``None`` hashes as the
+    literal string ``"None"`` — unseeded runs still get *stable* ids,
+    they are just shared across unseeded runs). ``scope``/``index``
+    locate the namespace (e.g. ``("batch", 3)``), and
+    ``parent_span_id`` is the dispatching span in the launching process
+    that context-root spans re-parent under.
+    """
+
+    seed: Optional[int]
+    scope: str
+    index: int
+    parent_span_id: Optional[int] = None
+
+    def span_id(self, ordinal: int) -> int:
+        """Deterministic 63-bit id of the ``ordinal``-th span opened here.
+
+        Derived ids are uniform over ``[1, 2^63)``, so they never collide
+        with the small sequential ids a collector assigns outside any
+        context, and collide with each other only with negligible
+        (birthday-bound) probability.
+        """
+        key = f"{self.seed}/{self.scope}/{self.index}/{ordinal}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return (int.from_bytes(digest, "big") & ((1 << 63) - 1)) or 1
+
+    def child(self, scope: str, index: int,
+              parent_span_id: Optional[int]) -> "TraceContext":
+        """A sub-namespace sharing this context's seed."""
+        return TraceContext(self.seed, scope, index, parent_span_id)
+
+
+class BatchTracer:
+    """Scope a run-root span plus per-batch contexts; no-op when disabled.
+
+    Usage (identical in the serial and parallel runners)::
+
+        with BatchTracer(telemetry, config.seed, n_workers=n) as tracer:
+            # serial twin:
+            with tracer.batch(k):
+                engine.run_batch(k)
+            # parallel twin: ship tracer.root_id to the pool; workers
+            # install TraceContext(seed, "batch", k, tracer.root_id).
+
+    With a disabled recorder every method is a no-op, so the runners can
+    call it unconditionally.
+    """
+
+    def __init__(self, telemetry, seed: Optional[int],
+                 label: str = "run.batches", **attrs: object) -> None:
+        self.telemetry = telemetry
+        self.enabled = bool(getattr(telemetry, "enabled", False))
+        self.seed = seed
+        self.label = label
+        self.attrs = attrs
+        #: Span id the per-batch contexts re-parent under (None = disabled).
+        self.root_id: Optional[int] = None
+        self._scope = None
+        self._root_span = None
+
+    def __enter__(self) -> "BatchTracer":
+        if self.enabled:
+            run_ctx = TraceContext(self.seed, SCOPE_RUN, 0)
+            self._scope = self.telemetry.spans.scoped(run_ctx)
+            self._scope.__enter__()
+            self._root_span = self.telemetry.span(self.label, **self.attrs)
+            self._root_span.__enter__()
+            self.root_id = self._root_span.span_id
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._root_span is not None:
+            self._root_span.__exit__(exc_type, exc, tb)
+            self._root_span = None
+        if self._scope is not None:
+            self._scope.__exit__(exc_type, exc, tb)
+            self._scope = None
+
+    def batch_context(self, batch_index: int) -> TraceContext:
+        """The context a worker process installs for ``batch_index``."""
+        return TraceContext(self.seed, SCOPE_BATCH, batch_index, self.root_id)
+
+    @contextmanager
+    def batch(self, batch_index: int) -> Iterator[None]:
+        """Scope one serial batch under its deterministic context."""
+        if not self.enabled:
+            yield
+            return
+        with self.telemetry.spans.scoped(self.batch_context(batch_index)):
+            yield

@@ -1,0 +1,210 @@
+"""Trace exporters and span-tree analysis.
+
+Three consumers of the same :class:`~repro.telemetry.spans.SpanRecord`
+plain data:
+
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome Trace
+  Format (the ``trace_event`` JSON schema), loadable in Perfetto /
+  ``chrome://tracing``. Each span becomes a complete (``"X"``) event;
+  ``tid`` lanes are *clock domains*: a span shares its parent's lane
+  only while its interval nests inside the parent's, so a subtree
+  merged from a pool worker — whose start offsets were measured
+  against *that worker's* clock epoch — heads its own lane instead of
+  being interleaved (mis-nested) on the dispatcher's timeline.
+- :func:`write_span_jsonl` — one span per line, for ad-hoc ``jq``-style
+  analysis and for round-tripping through the snapshot reader.
+- :func:`span_tree_digest` / :func:`critical_path` /
+  :func:`top_phases` — the analysis layer behind ``repro metrics`` and
+  the determinism tests: the digest hashes only ``(id, parent, name)``
+  triples, never timings, so it is bitwise stable across machines and
+  worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.telemetry.spans import SpanRecord
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_span_jsonl",
+    "span_tree_digest",
+    "critical_path",
+    "top_phases",
+]
+
+_US = 1_000_000.0  # Chrome trace timestamps are microseconds.
+_EPS_S = 1e-6  # Nesting slack: float round-trips through µs timestamps.
+
+
+def _lane_assignment(records: Sequence[SpanRecord]) -> Dict[int, int]:
+    """Map each span id to the id of the span heading its ``tid`` lane.
+
+    A lane is a clock domain. A span joins its parent's lane only when
+    its ``[start, start+wall]`` interval nests inside the parent's
+    (small float tolerance); a child that escapes — a subtree merged
+    from a pool worker, timed against that worker's clock epoch and
+    re-parented under the dispatching span — heads a new lane, as does
+    any root or orphan (a span whose parent was dropped by the cap
+    stays visible instead of vanishing).
+    """
+    by_id = {r.span_id: r for r in records}
+    lanes: Dict[int, int] = {}
+
+    def nests(child: SpanRecord, parent: SpanRecord) -> bool:
+        return (child.start >= parent.start - _EPS_S
+                and child.start + child.wall
+                <= parent.start + parent.wall + _EPS_S)
+
+    def resolve(span_id: int) -> int:
+        chain = []
+        cursor = span_id
+        while cursor not in lanes:
+            chain.append(cursor)
+            record = by_id[cursor]
+            parent = record.parent_id
+            if (parent is None or parent not in by_id
+                    or not nests(record, by_id[parent])):
+                lanes[cursor] = cursor
+                break
+            cursor = parent
+        head = lanes[cursor]
+        for sid in chain:
+            lanes[sid] = head
+        return head
+
+    for record in records:
+        resolve(record.span_id)
+    return lanes
+
+
+def to_chrome_trace(records: Sequence[SpanRecord],
+                    phases: Optional[Sequence[Dict[str, object]]] = None,
+                    meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Render spans (and optionally a phase table) as a Chrome trace dict.
+
+    Events are sorted by ``(tid, ts, -dur)`` so parents precede their
+    children at equal timestamps and the output is deterministic for a
+    deterministic record set.
+    """
+    lanes = _lane_assignment(records)
+    # Deterministic tid per lane: lane heads ordered by earliest start
+    # (comparable only within a domain, but stable), ties by span id.
+    lane_order: Dict[int, int] = {}
+    lane_starts: Dict[int, float] = {}
+    lane_names: Dict[int, str] = {}
+    for record in records:
+        lane = lanes[record.span_id]
+        if lane not in lane_starts or record.start < lane_starts[lane]:
+            lane_starts[lane] = record.start
+        if record.span_id == lane:
+            lane_names[lane] = record.name
+    for tid, lane in enumerate(
+            sorted(lane_starts, key=lambda l: (lane_starts[l], l)), start=1):
+        lane_order[lane] = tid
+
+    events: List[Dict[str, object]] = []
+    for lane, tid in sorted(lane_order.items(), key=lambda kv: kv[1]):
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": lane_names.get(lane, f"subtree {lane}")},
+        })
+    span_events: List[Dict[str, object]] = []
+    for record in records:
+        event: Dict[str, object] = {
+            "ph": "X",
+            "pid": 1,
+            "tid": lane_order[lanes[record.span_id]],
+            "name": record.name,
+            "cat": "repro",
+            "ts": record.start * _US,
+            "dur": record.wall * _US,
+            "args": {
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "cpu_s": record.cpu,
+            },
+        }
+        if record.attrs:
+            event["args"].update(
+                {str(k): v for k, v in sorted(record.attrs.items())})
+        span_events.append(event)
+    span_events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    events.extend(span_events)
+
+    other: Dict[str, object] = dict(meta or {})
+    if phases:
+        other["phases"] = list(phases)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path: str, records: Sequence[SpanRecord],
+                       phases: Optional[Sequence[Dict[str, object]]] = None,
+                       meta: Optional[Dict[str, object]] = None) -> None:
+    trace = to_chrome_trace(records, phases=phases, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+
+def write_span_jsonl(stream: TextIO, records: Iterable[SpanRecord]) -> None:
+    for record in records:
+        stream.write(json.dumps(record.to_dict(), sort_keys=True))
+        stream.write("\n")
+
+
+def span_tree_digest(records: Sequence[SpanRecord]) -> str:
+    """SHA-256 over the sorted ``(id, parent, name)`` structure.
+
+    Timings are excluded on purpose: two runs with identical structure
+    but different wall clocks digest identically, which is exactly the
+    property the workers-1-vs-N determinism test asserts.
+    """
+    lines = sorted(
+        f"{r.span_id}|{r.parent_id if r.parent_id is not None else 0}|{r.name}"
+        for r in records
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def critical_path(records: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """The max-wall root-to-leaf chain through the span tree.
+
+    At each level the child with the largest wall time is taken
+    (ties broken by span id, so the path is deterministic). For serving
+    runs this surfaces the dominating request/control chain; for batch
+    runs it descends into the slowest batch.
+    """
+    if not records:
+        return []
+    by_id = {r.span_id: r for r in records}
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in records:
+        parent = record.parent_id if record.parent_id in by_id else None
+        children.setdefault(parent, []).append(record)
+
+    def pick(candidates: List[SpanRecord]) -> SpanRecord:
+        return max(candidates, key=lambda r: (r.wall, -r.span_id))
+
+    path: List[SpanRecord] = []
+    cursor: Optional[SpanRecord] = pick(children.get(None, []))
+    while cursor is not None:
+        path.append(cursor)
+        kids = children.get(cursor.span_id)
+        cursor = pick(kids) if kids else None
+    return path
+
+
+def top_phases(phases: Sequence[Dict[str, object]],
+               limit: int = 10) -> List[Dict[str, object]]:
+    """The ``limit`` phases with the largest cumulative wall time."""
+    ranked = sorted(phases, key=lambda p: (-float(p["wall"]), str(p["name"])))
+    return list(ranked[: max(0, int(limit))])

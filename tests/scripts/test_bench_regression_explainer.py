@@ -1,0 +1,97 @@
+"""The perf-regression explainer names the phase a slowdown lives in."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).resolve().parents[2]
+           / "scripts" / "check_bench_regression.py")
+
+
+@pytest.fixture(scope="module")
+def mod():
+    spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _entry(mean, phases):
+    return {
+        "test": "bench_case",
+        "mean": mean,
+        "stddev": 0.01,
+        "min": mean,
+        "max": mean,
+        "iterations": 5,
+        "phases": [
+            {"name": name, "count": 10, "wall": wall, "cpu": wall}
+            for name, wall in phases.items()
+        ],
+    }
+
+
+class TestExplainRegression:
+    def test_names_the_grown_phase(self, mod):
+        base = _entry(1.0, {"enum.unpack": 0.2, "enum.label": 0.6})
+        # Inject a synthetic slowdown into enum.label only.
+        curr = _entry(1.9, {"enum.unpack": 0.2, "enum.label": 1.5})
+        explanation = mod.explain_regression(base, curr)
+        assert "enum.label" in explanation
+        assert "enum.unpack" not in explanation
+        assert "100% of growth" in explanation
+
+    def test_multiple_culprits_ranked(self, mod):
+        base = _entry(1.0, {"a": 0.5, "b": 0.4, "c": 0.1})
+        curr = _entry(2.0, {"a": 1.1, "b": 0.8, "c": 0.1})
+        explanation = mod.explain_regression(base, curr)
+        assert explanation.index("a (") < explanation.index("b (")
+        assert "c (" not in explanation
+
+    def test_silent_without_phase_tables(self, mod):
+        base = _entry(1.0, {})
+        curr = _entry(2.0, {"a": 1.0})
+        assert mod.explain_regression(base, curr) == ""
+        assert mod.explain_regression(curr, base) == ""
+
+    def test_silent_when_nothing_grew(self, mod):
+        base = _entry(1.0, {"a": 0.5})
+        curr = _entry(1.2, {"a": 0.4})
+        assert mod.explain_regression(base, curr) == ""
+
+
+class TestGateIntegration:
+    def _write(self, path, entry):
+        payload = {"schema": 1, "bench": "demo", "git_sha": "x",
+                   "timestamp": "now", "scale": "bench",
+                   "results": [entry]}
+        path.write_text(json.dumps(payload))
+
+    def test_failure_message_names_phase(self, mod, tmp_path, capsys):
+        baseline_dir = tmp_path / "base"
+        current_dir = tmp_path / "curr"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        base = _entry(1.0, {"mc.sample": 0.2, "mc.label": 0.7})
+        curr = _entry(1.6, {"mc.sample": 0.2, "mc.label": 1.3})
+        self._write(baseline_dir / "BENCH_demo.json", base)
+        self._write(current_dir / "BENCH_demo.json", curr)
+        failures = mod.check_file(baseline_dir / "BENCH_demo.json",
+                                  current_dir, threshold=0.25)
+        assert len(failures) == 1
+        assert "mc.label" in failures[0]
+        assert "mc.sample" not in failures[0]
+
+    def test_within_budget_passes(self, mod, tmp_path, capsys):
+        baseline_dir = tmp_path / "base"
+        current_dir = tmp_path / "curr"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        entry = _entry(1.0, {"mc.sample": 0.5})
+        self._write(baseline_dir / "BENCH_demo.json", entry)
+        self._write(current_dir / "BENCH_demo.json", entry)
+        assert mod.check_file(baseline_dir / "BENCH_demo.json",
+                              current_dir, threshold=0.25) == []

@@ -86,7 +86,8 @@ class TestTelemetryReconciliation:
     def test_merged_meta_records_worker_count(self, serial_and_parallel):
         _, parallel = serial_and_parallel
         assert parallel.telemetry.meta["n_workers"] == 4
-        assert parallel.telemetry.meta["merged_from"] == len(parallel.batches)
+        # One snapshot per batch plus the dispatcher's own (root span).
+        assert parallel.telemetry.meta["merged_from"] == len(parallel.batches) + 1
 
 
 class TestParallelPlumbing:

@@ -65,12 +65,14 @@ class TestAccReconciliation:
         tel = Telemetry()
         ring_run(telemetry=tel)
         names = {r.name for r in tel.spans.records}
-        assert {"engine.run_batch", "engine.prime"} <= names
-        roots = tel.spans.by_name("engine.run_batch")
-        assert len(roots) == 10
-        for root in roots:
-            assert root.parent_id is None
-            assert {c.name for c in tel.spans.children_of(root.span_id)}
+        assert {"run.batches", "engine.run_batch", "engine.prime"} <= names
+        [run_root] = tel.spans.by_name("run.batches")
+        assert run_root.parent_id is None
+        batch_spans = tel.spans.by_name("engine.run_batch")
+        assert len(batch_spans) == 10
+        for span in batch_spans:
+            assert span.parent_id == run_root.span_id
+            assert {c.name for c in tel.spans.children_of(span.span_id)}
 
     def test_engine_counters_match_audit(self):
         tel = Telemetry()

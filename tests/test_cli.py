@@ -403,6 +403,39 @@ class TestCache:
         density_cache.get_cache().clear()
 
 
+class TestProfile:
+    def test_enumeration_writes_perfetto_trace(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "profile", "enumeration", "--sites", "8",
+            "--out", "enum-profile",
+        )
+        assert code == 0
+        trace = tmp_path / "enum-profile.trace.json"
+        spans = tmp_path / "enum-profile.spans.jsonl"
+        assert trace.exists() and spans.exists()
+        assert "tree digest" in out
+        assert "enum." in out  # phase table names the kernel phases
+        import json
+
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_simulate_target_runs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "profile", "simulate", "--out", "sim-profile",
+        )
+        assert code == 0
+        assert (tmp_path / "sim-profile.trace.json").exists()
+        assert "critical path" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "frobnicate"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
