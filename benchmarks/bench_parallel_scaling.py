@@ -145,10 +145,7 @@ def test_scaling_summary(report):
     cores = os.cpu_count() or 1
     fanout_speedup = _STATE["fig2_serial_mean"] / _STATE["fig2_parallel_mean"]
     mc_speedup = _STATE["mc_perstate_mean"] / _STATE["mc_batched_mean"]
-    # Re-key this module's timings so the sidecar lands at the canonical
-    # BENCH_parallel_scaling.json (the module stem would double the prefix).
-    _BENCH_JSON["parallel_scaling"] = _BENCH_JSON.pop("bench_parallel_scaling", [])
-    _BENCH_JSON["parallel_scaling"].append({
+    _BENCH_JSON.setdefault("parallel_scaling", []).append({
         "test": "scaling_summary",
         "cores": cores,
         "fig2_fanout_speedup_4workers": round(fanout_speedup, 3),

@@ -96,11 +96,23 @@ def timed(benchmark, fn):
 
 
 # ----------------------------------------------------------------------
-# Machine-readable results: one BENCH_<module>.json per bench module
+# Machine-readable results: one BENCH_<name>.json per bench module
 # ----------------------------------------------------------------------
 
-#: Timing entries collected this session, keyed by bench module stem.
+#: Timing entries collected this session, keyed by normalized bench name.
 _BENCH_JSON: Dict[str, List[dict]] = {}
+
+
+def _bench_name(stem: str) -> str:
+    """Normalize a bench module stem to its sidecar name.
+
+    ``bench_serving.py`` -> ``serving`` -> ``BENCH_serving.json``. Keying
+    by the raw stem used to produce double-prefixed
+    ``BENCH_bench_serving.json`` files that silently diverged from the
+    committed ``BENCH_serving.json`` baselines the CI gate loads;
+    ``check_bench_regression.py`` now rejects the double-prefixed form.
+    """
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
 
 
 def _git_sha() -> str:
@@ -163,7 +175,7 @@ def _bench_json_recorder(request):
         },
         "phases": telemetry.phases.snapshot(),
     }
-    _BENCH_JSON.setdefault(request.node.path.stem, []).append(entry)
+    _BENCH_JSON.setdefault(_bench_name(request.node.path.stem), []).append(entry)
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
@@ -174,14 +186,14 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
     out_dir = Path(__file__).parent
-    for stem in sorted(_BENCH_JSON):
+    for name in sorted(_BENCH_JSON):
         payload = {
             "schema": 1,
-            "bench": stem,
+            "bench": name,
             "git_sha": sha,
             "timestamp": stamp,
             "scale": scale,
-            "results": _BENCH_JSON[stem],
+            "results": _BENCH_JSON[name],
         }
-        path = out_dir / f"BENCH_{stem}.json"
+        path = out_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

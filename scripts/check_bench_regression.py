@@ -6,7 +6,7 @@ sidecars exist):
 
     python scripts/check_bench_regression.py \
         --baseline-dir baselines/ --current-dir benchmarks/ \
-        benchmarks/BENCH_bench_optimizers.json \
+        benchmarks/BENCH_optimizers.json \
         benchmarks/BENCH_parallel_scaling.json
 
 For each named baseline file the script finds the freshly generated
@@ -39,7 +39,7 @@ from pathlib import Path
 
 #: Tests whose timing depends on physical core count, gated only when the
 #: baseline and current runs saw the same number of cores.
-CORE_SENSITIVE = ("4workers",)
+CORE_SENSITIVE = ("4workers", "8workers")
 
 
 def _load(path: Path) -> dict:
@@ -102,6 +102,35 @@ def explain_regression(base: dict, curr: dict, min_share: float = 0.15) -> str:
     return "phase growth dominated by " + ", ".join(culprits)
 
 
+def find_duplicate_sidecars(directory: Path) -> list:
+    """Sidecars violating the one-``BENCH_<name>.json``-per-bench scheme.
+
+    The harness once keyed sidecars by raw module stem, emitting
+    double-prefixed ``BENCH_bench_serving.json`` next to the committed
+    ``BENCH_serving.json`` baseline — and the gate silently compared the
+    stale baseline against itself. Rejected here forever: any
+    double-prefixed sidecar, and any two sidecars that normalize to the
+    same bench name.
+    """
+    offenders = []
+    seen: dict = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if name.startswith("bench_"):
+            offenders.append(
+                f"{path.name}: double-prefixed sidecar (the bench is named "
+                f"{name[len('bench_'):]!r}; fix the harness keying)"
+            )
+            name = name[len("bench_"):]
+        if name in seen:
+            offenders.append(
+                f"{path.name}: duplicates {seen[name]} for bench {name!r}"
+            )
+        else:
+            seen[name] = path.name
+    return offenders
+
+
 def check_file(baseline_path: Path, current_dir: Path, threshold: float) -> list:
     baseline = _load(baseline_path)
     current = _load(current_dir / baseline_path.name)
@@ -148,7 +177,7 @@ def main() -> int:
                         help="allowed fractional mean regression (0.25 = +25%%)")
     args = parser.parse_args()
 
-    failures = []
+    failures = list(find_duplicate_sidecars(args.current_dir))
     for baseline_path in args.baselines:
         print(f"checking {baseline_path} against {args.current_dir}/...")
         failures.extend(check_file(baseline_path, args.current_dir,

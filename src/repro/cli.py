@@ -635,6 +635,26 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.engines import list_engines
+
+    specs = list_engines(
+        kind=args.kind,
+        capability=args.capability,
+    )
+    if not specs:
+        print("no engines match the given filters")
+        return 0
+    print(f"registered engines ({len(specs)}):")
+    for spec in specs:
+        caps = ", ".join(sorted(spec.capabilities)) or "-"
+        print(f"  {spec.name:<16} kind={spec.kind:<14} caps=[{caps}]")
+        print(f"    {spec.description}")
+        if spec.cost_hint:
+            print(f"    cost: {spec.cost_hint}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verification import run_profile, write_corpus
 
@@ -916,6 +936,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="show the N checks closest to their tolerance")
     _add_telemetry_args(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    engines_p = sub.add_parser(
+        "engines",
+        help="list the registered availability engines with capability "
+        "flags and cost hints",
+    )
+    engines_p.add_argument(
+        "--kind", choices=("model", "simulation", "density-model"),
+        default=None, help="only engines of this kind",
+    )
+    engines_p.add_argument(
+        "--capability", default=None, metavar="FLAG",
+        help="only engines carrying this capability flag (e.g. 'exact', "
+        "'variance-reduced')",
+    )
+    engines_p.set_defaults(func=_cmd_engines)
 
     return parser
 

@@ -1,0 +1,485 @@
+"""Built-in engine adapters behind the registry.
+
+Every availability backend the repo implements — closed forms, exact
+state enumeration, static Monte-Carlo plus its two variance-reduced
+variants, the discrete-event simulator, the parallel fan-out path, and
+the serving layer's online-density model builder — is adapted here to
+one of the registry's calling conventions and registered under a stable
+name. Consumers (sweeps, ``repro verify``, the CLI, the serving control
+loop) resolve engines with :func:`repro.engines.get_engine` instead of
+importing constructors.
+
+Model-kind adapters evaluate a
+:class:`~repro.verification.cases.VerificationCase` and report
+:class:`~repro.verification.tolerance.Estimate` values with honest
+uncertainty, so the differential runner can compare any applicable pair
+with a CI-derived tolerance instead of an ad-hoc constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analytic import closed_form_density
+from repro.analytic.enumeration import MAX_COMPONENTS, enumerate_density_matrix
+from repro.analytic.montecarlo import montecarlo_density_matrix
+from repro.analytic.variance import (
+    importance_density_matrix,
+    stratified_density_matrix,
+)
+from repro.connectivity.dynamic import ComponentTracker, NetworkState
+from repro.engines.registry import (
+    KIND_DENSITY_MODEL,
+    KIND_MODEL,
+    KIND_SIMULATION,
+    EngineSpec,
+    register_engine,
+)
+from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+from repro.protocols.reassignment import QuorumReassignmentProtocol
+from repro.quorum.assignment import QuorumAssignment
+from repro.quorum.availability import AvailabilityModel
+from repro.quorum.optimizer import optimal_read_quorum
+from repro.simulation.runner import SimulationResult, run_simulation
+from repro.telemetry.recorder import Telemetry
+from repro.verification.cases import VerificationCase
+from repro.verification.tolerance import (
+    Estimate,
+    binomial_half_width,
+    students_t_estimate,
+)
+
+__all__ = [
+    "ModelEngine",
+    "SimulationEngineRun",
+    "closed_form_engine",
+    "enumeration_engine",
+    "montecarlo_engine",
+    "stratified_mc_engine",
+    "importance_mc_engine",
+    "simulation_engine_run",
+    "online_density_model",
+    "grant_mask_mismatch",
+    "OffByOneModel",
+    "KNOWN_BUGS",
+    "inject_bug_model",
+    "with_injected_bug",
+    "register_builtin_engines",
+]
+
+
+# ----------------------------------------------------------------------
+# Model-producing engines (closed form / enumeration / Monte-Carlo)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelEngine:
+    """An engine that produced a Figure-1 availability model.
+
+    ``half_width_at(value)`` converts the engine's sampling budget into
+    the 95 % CI half-width of one availability estimate; exact engines
+    return 0. ``n_samples`` is the *effective* sample size — importance
+    sampling reports its Kish effective count so the half-widths stay
+    honest under weight dispersion.
+    """
+
+    name: str
+    model: AvailabilityModel
+    #: (Effective) Monte-Carlo sample count; ``None`` marks an exact engine.
+    n_samples: Optional[int] = None
+
+    def half_width_at(self, value: float) -> float:
+        if self.n_samples is None:
+            return 0.0
+        return binomial_half_width(value, self.n_samples)
+
+    def availability_estimates(
+        self, case: VerificationCase
+    ) -> Dict[str, Estimate]:
+        """``A(alpha, q)`` at the case's quorums, plus the optimum value.
+
+        The optimal *value* ``A*`` is comparable across engines even when
+        a flat curve makes the arg-max ``q*`` ambiguous under noise, so
+        ``q*`` is reported separately (exact engines only compare it).
+        """
+        out: Dict[str, Estimate] = {}
+        for q in case.read_quorums:
+            value = float(np.asarray(self.model.availability(case.alpha, int(q))))
+            out[f"A(q={q})"] = Estimate(
+                value, self.half_width_at(value), self.n_samples, self.name
+            )
+        best = optimal_read_quorum(self.model, case.alpha)
+        out["A*"] = Estimate(
+            best.availability,
+            self.half_width_at(best.availability),
+            self.n_samples,
+            self.name,
+        )
+        out["q*"] = Estimate(
+            float(best.assignment.read_quorum), 0.0, None, self.name
+        )
+        return out
+
+
+def closed_form_engine(case: VerificationCase) -> ModelEngine:
+    """Section 4.2 closed form for the case's family (exact)."""
+    row = closed_form_density(case.family, case.n_sites, case.p, case.r)
+    return ModelEngine("closed-form", AvailabilityModel(row, row))
+
+
+def enumeration_engine(case: VerificationCase) -> Optional[ModelEngine]:
+    """Exhaustive state enumeration (exact); ``None`` beyond the cap.
+
+    For the bus family, only the real (voting) sites' rows enter the
+    model — the zero-vote hub submits no accesses.
+    """
+    topology = case.topology()
+    site_rel = case.site_reliabilities()
+    link_rel = case.link_reliabilities()
+    n_free = int(((site_rel > 0) & (site_rel < 1)).sum()
+                 + ((link_rel > 0) & (link_rel < 1)).sum())
+    if n_free > MAX_COMPONENTS:
+        return None
+    matrix = enumerate_density_matrix(topology, site_rel, link_rel)
+    model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
+    return ModelEngine("enumeration", model)
+
+
+def montecarlo_engine(case: VerificationCase) -> ModelEngine:
+    """Seeded static Monte-Carlo estimation (statistical)."""
+    matrix = montecarlo_density_matrix(
+        case.topology(),
+        case.site_reliabilities(),
+        case.link_reliabilities(),
+        n_samples=case.mc_samples,
+        seed=case.seed,
+    )
+    model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
+    return ModelEngine("monte-carlo", model, n_samples=case.mc_samples)
+
+
+def stratified_mc_engine(case: VerificationCase,
+                         allocation: str = "proportional") -> ModelEngine:
+    """Failure-count-stratified Monte-Carlo (variance-reduced)."""
+    matrix = stratified_density_matrix(
+        case.topology(),
+        case.site_reliabilities(),
+        case.link_reliabilities(),
+        n_samples=case.mc_samples,
+        seed=case.seed,
+        allocation=allocation,
+    )
+    model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
+    return ModelEngine("mc-stratified", model, n_samples=case.mc_samples)
+
+
+def importance_mc_engine(case: VerificationCase) -> ModelEngine:
+    """Defensive-mixture importance sampling (rare-failure regimes)."""
+    matrix, stats = importance_density_matrix(
+        case.topology(),
+        case.site_reliabilities(),
+        case.link_reliabilities(),
+        n_samples=case.mc_samples,
+        seed=case.seed,
+        return_stats=True,
+    )
+    model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
+    # Report the Kish effective sample size so CI half-widths account
+    # for weight dispersion rather than pretending every draw is equal.
+    return ModelEngine("mc-importance", model,
+                       n_samples=max(int(stats.effective_samples), 1))
+
+
+# ----------------------------------------------------------------------
+# Simulation-backed engines
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimulationEngineRun:
+    """One simulated campaign reduced to comparable estimates.
+
+    ``acc``/``surv`` carry batch-means Student-t half-widths;
+    ``batch_acc``/``batch_surv`` are the raw per-batch values used for
+    the bitwise serial-vs-parallel determinism contract; ``pooled_acc``
+    and ``audit_acc`` are the exact volume ratios the audit-reconciliation
+    check compares.
+    """
+
+    name: str
+    acc: Estimate
+    surv: Estimate
+    batch_acc: Tuple[float, ...]
+    batch_surv: Tuple[float, ...]
+    pooled_acc: float
+    audit_acc: Optional[float]
+
+    @property
+    def read_quorum_metric(self) -> str:
+        return "ACC"
+
+
+def _pooled_acc(result: SimulationResult) -> float:
+    submitted = sum(b.accesses_submitted for b in result.batches)
+    granted = sum(b.accesses_granted for b in result.batches)
+    return granted / submitted if submitted > 0 else 0.0
+
+
+def simulation_engine_run(
+    case: VerificationCase,
+    n_workers: int = 1,
+    with_telemetry: bool = False,
+) -> SimulationEngineRun:
+    """Run the case's quorum-consensus protocol through the simulator.
+
+    ``n_workers > 1`` exercises the parallel fan-out path, which is
+    contractually bitwise identical to the serial run. With
+    ``with_telemetry`` the run records the quorum-decision audit log and
+    reports its independently-accumulated ACC for exact reconciliation.
+    """
+    if case.sim_read_quorum is None:
+        raise _no_sim_error(case)
+    config = case.simulation_config()
+    protocol = QuorumConsensusProtocol(
+        QuorumAssignment.from_read_quorum(case.total_votes, case.sim_read_quorum)
+    )
+    telemetry = Telemetry() if with_telemetry else None
+    result = run_simulation(
+        config, protocol, telemetry=telemetry, n_workers=n_workers
+    )
+    name = "simulation" if n_workers == 1 else f"parallel(x{n_workers})"
+    surv_stats = result.surv_statistics(case.alpha)
+    audit_acc = None
+    if result.telemetry is not None:
+        audit_acc = float(result.telemetry.audit_availability())
+    return SimulationEngineRun(
+        name=name,
+        acc=students_t_estimate(result.availability, source=name),
+        surv=students_t_estimate(surv_stats, source=name),
+        batch_acc=tuple(b.availability for b in result.batches),
+        batch_surv=tuple(
+            case.alpha * b.surv_read + (1.0 - case.alpha) * b.surv_write
+            for b in result.batches
+        ),
+        pooled_acc=_pooled_acc(result),
+        audit_acc=audit_acc,
+    )
+
+
+def _no_sim_error(case: VerificationCase):
+    from repro.errors import VerificationError
+
+    return VerificationError(
+        f"case {case.name} has no sim_read_quorum; simulation engines do not apply"
+    )
+
+
+# ----------------------------------------------------------------------
+# Density-model engines (the serving control loop's path)
+# ----------------------------------------------------------------------
+
+def online_density_model(
+    matrix: np.ndarray,
+    read_weights: Optional[np.ndarray] = None,
+    write_weights: Optional[np.ndarray] = None,
+) -> AvailabilityModel:
+    """Availability model from an online-estimated density matrix."""
+    return AvailabilityModel.from_density_matrix(
+        matrix, read_weights=read_weights, write_weights=write_weights
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol-level differential: static quorum consensus vs QR
+# ----------------------------------------------------------------------
+
+def grant_mask_mismatch(case: VerificationCase) -> Tuple[float, int]:
+    """Fraction of sampled network states where QR and static grants differ.
+
+    A :class:`QuorumReassignmentProtocol` that never installs a new
+    assignment must grant exactly what the static
+    :class:`QuorumConsensusProtocol` grants in every reachable network
+    state — the stale-config machinery must be invisible when there is
+    nothing stale. Samples ``case.protocol_states`` stationary states and
+    compares both protocols' read/write grant masks; returns the mismatch
+    fraction (0.0 when the protocols agree everywhere) and the number of
+    states checked.
+    """
+    topology = case.topology()
+    q = case.sim_read_quorum if case.sim_read_quorum is not None else 1
+    assignment = QuorumAssignment.from_read_quorum(case.total_votes, q)
+    static = QuorumConsensusProtocol(assignment)
+    dynamic = QuorumReassignmentProtocol(topology.n_sites, assignment)
+    rng = np.random.default_rng(case.seed)
+    site_rel = case.site_reliabilities()
+    link_rel = case.link_reliabilities()
+    mismatches = 0
+    for _ in range(case.protocol_states):
+        site_up = rng.random(topology.n_sites) < site_rel
+        link_up = rng.random(topology.n_links) < link_rel
+        tracker = ComponentTracker(NetworkState(topology, site_up, link_up))
+        dynamic.reset()
+        dynamic.on_network_change(tracker)
+        static_masks = static.grant_masks(tracker)
+        dynamic_masks = dynamic.grant_masks(tracker)
+        if not (
+            np.array_equal(static_masks[0], dynamic_masks[0])
+            and np.array_equal(static_masks[1], dynamic_masks[1])
+        ):
+            mismatches += 1
+    return mismatches / case.protocol_states, case.protocol_states
+
+
+# ----------------------------------------------------------------------
+# Bug injection (verification of the verifier)
+# ----------------------------------------------------------------------
+
+class OffByOneModel(AvailabilityModel):
+    """An availability model with a deliberate quorum-threshold off-by-one.
+
+    Evaluates ``A(alpha, q_r + 1)`` wherever ``A(alpha, q_r)`` was asked
+    — exactly the bug a ``>=`` vs ``>`` slip in a quorum comparison
+    produces. Used by ``repro verify --inject-bug quorum-off-by-one`` to
+    demonstrate that the differential harness fails loudly (exit 1) on a
+    real divergence rather than absorbing it into its tolerances.
+    """
+
+    def availability(self, alpha, read_quorum):
+        q = np.asarray(read_quorum, dtype=np.int64)
+        shifted = np.minimum(q + 1, self.total_votes)
+        if q.ndim == 0:
+            shifted = int(shifted)
+        return super().availability(alpha, shifted)
+
+    def curve(self, alpha):
+        # Route through the broken threshold so optimizer output shifts
+        # too (the base class evaluates densities directly).
+        return np.asarray(self.availability(alpha, self.feasible_read_quorums()))
+
+
+#: Deliberate defects `repro verify --inject-bug` can wire into the
+#: closed-form engine to prove the harness catches real divergence.
+KNOWN_BUGS = ("quorum-off-by-one",)
+
+
+def inject_bug_model(model: AvailabilityModel, bug: Optional[str]) -> AvailabilityModel:
+    """Return ``model`` with the named defect wired in (or unchanged)."""
+    if bug is None:
+        return model
+    if bug == "quorum-off-by-one":
+        return OffByOneModel(model.read_density, model.write_density)
+    from repro.errors import VerificationError
+
+    raise VerificationError(
+        f"unknown bug injection {bug!r}; known: {list(KNOWN_BUGS)}"
+    )
+
+
+def with_injected_bug(engine: ModelEngine, bug: Optional[str]) -> ModelEngine:
+    """Return ``engine`` with the named bug wired in (or unchanged)."""
+    if bug is None:
+        return engine
+    return ModelEngine(
+        engine.name, inject_bug_model(engine.model, bug), engine.n_samples
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+def register_builtin_engines(replace: bool = False) -> None:
+    """Register every built-in engine (idempotent with ``replace=True``)."""
+    specs = (
+        EngineSpec(
+            name="closed-form",
+            kind=KIND_MODEL,
+            description="Section 4.2 closed-form densities for the "
+                        "ring/complete/bus families",
+            capabilities=frozenset({"exact"}),
+            cost_hint="O(n) per family; microseconds",
+            cost_rank=0,
+            builder=closed_form_engine,
+        ),
+        EngineSpec(
+            name="enumeration",
+            kind=KIND_MODEL,
+            description="Exhaustive network-state enumeration; exact for "
+                        f"any topology up to {MAX_COMPONENTS} free components",
+            capabilities=frozenset({"exact", "bounded-states"}),
+            cost_hint=f"O(2^m) states; applies while m <= {MAX_COMPONENTS}",
+            cost_rank=1,
+            builder=enumeration_engine,
+        ),
+        EngineSpec(
+            name="monte-carlo",
+            kind=KIND_MODEL,
+            description="Seeded static Monte-Carlo density estimation",
+            capabilities=frozenset({"statistical"}),
+            cost_hint="O(n_samples) states; CI half-width ~ 1/sqrt(n)",
+            cost_rank=2,
+            builder=montecarlo_engine,
+        ),
+        EngineSpec(
+            name="mc-stratified",
+            kind=KIND_MODEL,
+            description="Monte-Carlo stratified on the exact "
+                        "Poisson-Binomial failure-count law; the all-up "
+                        "stratum is evaluated deterministically",
+            capabilities=frozenset({"statistical", "variance-reduced"}),
+            cost_hint="O(n_samples) states + O(m^2) stratum weights; "
+                      "big wins when failures are rare",
+            cost_rank=3,
+            builder=stratified_mc_engine,
+        ),
+        EngineSpec(
+            name="mc-importance",
+            kind=KIND_MODEL,
+            description="Defensive-mixture importance sampling that "
+                        "inflates failure rates for rare-event regimes "
+                        "(p >= 0.99)",
+            capabilities=frozenset({"statistical", "variance-reduced",
+                                    "rare-event"}),
+            cost_hint="O(n_samples) states; reports Kish effective "
+                      "sample size",
+            cost_rank=4,
+            builder=importance_mc_engine,
+        ),
+        EngineSpec(
+            name="simulation",
+            kind=KIND_SIMULATION,
+            description="Discrete-event simulation of the case's "
+                        "quorum-consensus protocol (serial)",
+            capabilities=frozenset({"statistical", "protocol-level"}),
+            cost_hint="O(epochs * accesses); seconds per case",
+            cost_rank=10,
+            builder=simulation_engine_run,
+        ),
+        EngineSpec(
+            name="parallel",
+            kind=KIND_SIMULATION,
+            description="Parallel fan-out simulation; contractually "
+                        "bitwise identical to the serial run",
+            capabilities=frozenset({"statistical", "protocol-level",
+                                    "bitwise-parallel"}),
+            cost_hint="simulation cost / n_workers + pool overhead",
+            cost_rank=11,
+            builder=lambda case, n_workers=2, with_telemetry=False:
+                simulation_engine_run(case, n_workers=n_workers,
+                                      with_telemetry=with_telemetry),
+        ),
+        EngineSpec(
+            name="online-density",
+            kind=KIND_DENSITY_MODEL,
+            description="Availability model from an online-estimated "
+                        "density matrix (the serving control loop's path)",
+            capabilities=frozenset({"online"}),
+            cost_hint="O(n * T) per refresh; microseconds",
+            cost_rank=0,
+            builder=online_density_model,
+        ),
+    )
+    for spec in specs:
+        register_engine(spec, replace=replace)

@@ -2,21 +2,26 @@
 
 The paper evaluates a single operating point — component reliability
 0.96 and ``rho = 1/128`` — and seven topologies. These utilities sweep
-the reliability dimension analytically (closed-form densities make each
-point microseconds) to answer the follow-up questions the paper leaves
-open: *how robust is the optimal quorum choice to the reliability
+the reliability dimension to answer the follow-up questions the paper
+leaves open: *how robust is the optimal quorum choice to the reliability
 estimate?* and *where is the crossover below which majority consensus
 stops paying even on dense networks?*
+
+Each sweep point dispatches through the :mod:`repro.engines` registry
+(default: the ``closed-form`` engine, whose densities make each point
+microseconds and are memoized in the cross-layer density cache). Any
+registered model-kind engine works — ``engine="mc-stratified"`` sweeps
+with the variance-reduced estimator instead, which is how the sweep
+machinery extends beyond the closed-form families.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analytic import cache as density_cache
 from repro.analytic.complete import complete_density
 from repro.analytic.ring import ring_density
 from repro.errors import OptimizationError
@@ -53,22 +58,35 @@ class SweepPoint:
         return self.availability_at_majority > self.availability_at_rowa
 
 
-def _model(family: str, n_sites: int, reliability: float) -> AvailabilityModel:
-    try:
-        density_fn = DENSITY_FAMILIES[family]
-    except KeyError:
+def _model(family: str, n_sites: int, reliability: float,
+           engine: str = "closed-form") -> AvailabilityModel:
+    if family not in DENSITY_FAMILIES:
         raise OptimizationError(
             f"unknown family {family!r}; choose from {sorted(DENSITY_FAMILIES)}"
-        ) from None
-    # Sweeps and bisection revisit reliabilities constantly; route through
-    # the cross-layer density cache under the same key the closed-form
-    # dispatcher uses, so sweep points and verification engines share
-    # entries.
-    key = density_cache.closed_form_key(family, n_sites, reliability, reliability)
-    density = density_cache.fetch(
-        "closed_form", key, lambda: density_fn(n_sites, reliability, reliability)
+        )
+    # Dispatch through the engine registry. The default closed-form
+    # engine memoizes its densities in the cross-layer density cache
+    # under the same key every other closed-form consumer uses, so sweep
+    # points and verification engines share entries.
+    from repro.engines import KIND_MODEL, get_engine
+    from repro.verification.cases import VerificationCase
+
+    case = VerificationCase(
+        name=f"sweep-{family}-{n_sites}-r{reliability:.6g}",
+        family=family,
+        n_sites=n_sites,
+        p=reliability,
+        r=reliability,
+        alpha=0.5,  # sweeps evaluate alpha themselves via model.curve
+        read_quorums=(1,),
     )
-    return AvailabilityModel(density, density)
+    built = get_engine(engine, kind=KIND_MODEL).build(case)
+    if built is None:
+        raise OptimizationError(
+            f"engine {engine!r} does not apply to {family} n={n_sites} "
+            f"(use a statistical engine past the enumeration cap)"
+        )
+    return built.model
 
 
 def reliability_sweep(
@@ -76,17 +94,18 @@ def reliability_sweep(
     n_sites: int,
     alpha: float,
     reliabilities: Sequence[float],
+    engine: str = "closed-form",
 ) -> Tuple[SweepPoint, ...]:
     """Optimal assignment and endpoint availabilities at each reliability.
 
     Uses ``p = r`` (the paper's convention: sites and links share one
-    reliability).
+    reliability). ``engine`` names any registered model-kind engine.
     """
     if not 0.0 <= alpha <= 1.0:
         raise OptimizationError(f"alpha must be in [0, 1], got {alpha}")
     points: List[SweepPoint] = []
     for rel in reliabilities:
-        model = _model(family, n_sites, float(rel))
+        model = _model(family, n_sites, float(rel), engine=engine)
         best = optimal_read_quorum(model, alpha)
         curve = model.curve(alpha)
         points.append(
@@ -110,6 +129,7 @@ def find_majority_crossover(
     high: float = 0.999,
     tolerance: float = 1e-4,
     max_iterations: int = 60,
+    engine: str = "closed-form",
 ) -> Optional[float]:
     """Reliability at which majority and ROWA availabilities cross.
 
@@ -121,7 +141,7 @@ def find_majority_crossover(
     """
 
     def gap(rel: float) -> float:
-        model = _model(family, n_sites, rel)
+        model = _model(family, n_sites, rel, engine=engine)
         curve = model.curve(alpha)
         return float(curve[-1] - curve[0])
 

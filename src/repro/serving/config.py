@@ -76,6 +76,9 @@ class ServeConfig:
     #: Required estimated availability gain before a reassignment.
     improvement_threshold: float = 0.005
     optimizer_method: str = "exhaustive"
+    #: Registered density-model engine the control loop builds its
+    #: availability model through (see ``repro engines``).
+    density_engine: str = "online-density"
     forgetting_factor: float = 1.0
     #: Watchdog cadence; a pending reassignment older than
     #: ``stall_threshold`` forces re-estimation (estimator reset).

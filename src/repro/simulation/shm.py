@@ -1,0 +1,226 @@
+"""Zero-pickle pool transport: per-batch slots in shared memory.
+
+The parallel fan-out used to ship every batch's numeric payload —
+ACC/SURV tallies, two ``(n_sites, T+1)`` density-weight matrices, the
+max-votes histogram — back through the process pool's pickle pipe. For
+paper-scale topologies that is hundreds of kilobytes per batch of pure
+``float64`` data being serialized, copied through a pipe, and
+deserialized, all to land in numpy arrays again.
+
+This module replaces that round-trip with one preallocated
+:class:`multiprocessing.shared_memory.SharedMemory` block, carved into
+fixed-size per-batch **slots**:
+
+- The dispatcher creates a :class:`SlotPool` with one slot per batch and
+  passes its name through the pool initializer.
+- Each worker attaches once (detaching itself from the resource tracker
+  — the dispatcher owns the block's lifetime), writes its batch's
+  numbers into its assigned slot with :meth:`BatchSlotLayout.pack`, and
+  returns only a slim index/metadata record across the pipe.
+- The dispatcher rehydrates full ``BatchResult`` objects from the slots
+  with :meth:`BatchSlotLayout.unpack` and unlinks the block.
+
+Values cross as raw ``float64`` — no encoding, no rounding — so results
+are bitwise identical to the pickle path (and therefore to a serial
+run). Non-numeric payloads (telemetry snapshots, invariant-violation
+records, quarantined errors) are rare and structurally pickled; they
+stay on the pipe by design.
+
+Everything degrades cleanly: :func:`shm_supported` probes the platform
+once, and any ``OSError`` while creating the block falls back to the
+pickle transport (see :mod:`repro.simulation.parallel`).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["BatchSlotLayout", "SlotPool", "shm_supported"]
+
+#: Scalar fields of a BatchResult, in slot order (ints cross as float64;
+#: they are exact well past 2**53).
+_SCALAR_FIELDS = (
+    "reads_submitted",
+    "reads_granted",
+    "writes_submitted",
+    "writes_granted",
+    "surv_read",
+    "surv_write",
+    "measured_time",
+    "n_epochs",
+    "n_events",
+)
+
+
+@dataclass(frozen=True)
+class BatchSlotLayout:
+    """Fixed slot layout for one ``BatchResult``'s numeric payload.
+
+    A slot is one contiguous ``float64`` vector::
+
+        [ scalars (9) | density_time (n*(T+1)) | density_access (n*(T+1))
+          | max_votes_time (T+1) ]
+
+    ``n`` and ``T`` come from the simulation config's topology, so the
+    dispatcher and every worker derive the identical layout without
+    negotiation.
+    """
+
+    n_sites: int
+    total_votes: int
+
+    @property
+    def density_floats(self) -> int:
+        return self.n_sites * (self.total_votes + 1)
+
+    @property
+    def slot_floats(self) -> int:
+        return len(_SCALAR_FIELDS) + 2 * self.density_floats + (
+            self.total_votes + 1
+        )
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.slot_floats * 8
+
+    # ------------------------------------------------------------------
+    def pack(self, view: np.ndarray, batch) -> None:
+        """Write ``batch``'s numbers into one slot view (worker side)."""
+        s = len(_SCALAR_FIELDS)
+        d = self.density_floats
+        view[:s] = [float(getattr(batch, name)) for name in _SCALAR_FIELDS]
+        view[s: s + d] = batch.density_time._weights.ravel()
+        view[s + d: s + 2 * d] = batch.density_access._weights.ravel()
+        view[s + 2 * d:] = batch.max_votes_time
+
+    def unpack(self, view: np.ndarray):
+        """Rebuild a ``BatchResult`` from one slot view (dispatcher side)."""
+        from repro.protocols.estimator import OnlineDensityEstimator
+        from repro.simulation.engine import BatchResult
+
+        s = len(_SCALAR_FIELDS)
+        d = self.density_floats
+        shape = (self.n_sites, self.total_votes + 1)
+        scalars = dict(zip(_SCALAR_FIELDS, view[:s]))
+        return BatchResult(
+            reads_submitted=float(scalars["reads_submitted"]),
+            reads_granted=float(scalars["reads_granted"]),
+            writes_submitted=float(scalars["writes_submitted"]),
+            writes_granted=float(scalars["writes_granted"]),
+            surv_read=float(scalars["surv_read"]),
+            surv_write=float(scalars["surv_write"]),
+            measured_time=float(scalars["measured_time"]),
+            n_epochs=int(scalars["n_epochs"]),
+            n_events=int(scalars["n_events"]),
+            density_time=OnlineDensityEstimator.from_weights(
+                view[s: s + d].reshape(shape).copy(), self.total_votes
+            ),
+            density_access=OnlineDensityEstimator.from_weights(
+                view[s + d: s + 2 * d].reshape(shape).copy(), self.total_votes
+            ),
+            max_votes_time=view[s + 2 * d:].copy(),
+            trace=None,
+        )
+
+
+class SlotPool:
+    """A shared-memory block carved into equal ``float64`` slots.
+
+    The *creating* process owns the block: it must call :meth:`unlink`
+    (normally via :meth:`close`) when the batch results have been read
+    out. *Attaching* processes (pool workers) only map it and
+    deliberately unregister themselves from the resource tracker, so
+    worker shutdown neither warns about "leaked" segments nor
+    double-unlinks the dispatcher's block.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, slot_floats: int,
+                 n_slots: int, owner: bool) -> None:
+        self._shm = shm
+        self.slot_floats = int(slot_floats)
+        self.n_slots = int(n_slots)
+        self._owner = owner
+        self._array = np.ndarray(
+            (self.n_slots, self.slot_floats), dtype=np.float64,
+            buffer=shm.buf,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, slot_floats: int, n_slots: int) -> "SlotPool":
+        """Allocate a zeroed pool (dispatcher side). Raises ``OSError``
+        when shared memory is unavailable — callers fall back to pickle."""
+        if slot_floats <= 0 or n_slots <= 0:
+            raise SimulationError(
+                f"slot pool needs positive dimensions, got "
+                f"{n_slots} x {slot_floats}"
+            )
+        name = f"repro_pool_{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(slot_floats * n_slots * 8, 8)
+        )
+        pool = cls(shm, slot_floats, n_slots, owner=True)
+        pool._array[:] = 0.0
+        return pool
+
+    @classmethod
+    def attach(cls, name: str, slot_floats: int, n_slots: int) -> "SlotPool":
+        """Map an existing pool (worker side); tracker-unregistered."""
+        # Python 3.12 gained SharedMemory(track=False); on 3.11 every
+        # attach registers the segment with the (fork-shared) resource
+        # tracker, and unregistering afterwards would also erase the
+        # dispatcher's registration. Suppress registration entirely for
+        # the duration of the attach instead.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        return cls(shm, slot_floats, n_slots, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def slot(self, index: int) -> np.ndarray:
+        """The ``float64`` view of one slot (zero-copy)."""
+        if not 0 <= index < self.n_slots:
+            raise SimulationError(
+                f"slot index {index} outside 0..{self.n_slots - 1}"
+            )
+        return self._array[index]
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        self._array = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def shm_supported() -> bool:
+    """Can this platform allocate POSIX/Windows shared memory at all?"""
+    try:
+        probe = shared_memory.SharedMemory(
+            name=f"repro_probe_{secrets.token_hex(4)}", create=True, size=8
+        )
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except FileNotFoundError:
+        pass
+    return True

@@ -4,13 +4,15 @@
 :class:`VerificationReport` covering three layers of evidence:
 
 1. **Cross-engine pairs** — for each case, every pair of applicable
-   engines is compared metric-by-metric with CI-aware tolerances:
-   closed-form vs enumeration (exact), closed-form vs Monte-Carlo,
-   enumeration vs Monte-Carlo, closed-form vs simulation (ACC at the
-   simulated quorum), simulation vs parallel fan-out (bitwise), the
-   simulator's pooled accounting vs the telemetry audit log (exact), and
-   the static quorum-consensus protocol vs the QR reassignment protocol
-   (grant-mask differential over sampled network states).
+   engines is compared metric-by-metric with CI-aware tolerances. The
+   model-producing engines (closed form, enumeration, plain Monte-Carlo,
+   and the variance-reduced ``mc-stratified``/``mc-importance``
+   variants) are resolved through the :mod:`repro.engines` registry and
+   crossed all-pairs; on top of that ride closed-form vs simulation (ACC
+   at the simulated quorum), simulation vs parallel fan-out (bitwise),
+   the simulator's pooled accounting vs the telemetry audit log (exact),
+   and the static quorum-consensus protocol vs the QR reassignment
+   protocol (grant-mask differential over sampled network states).
 2. **Metamorphic relations** — the identities of
    :mod:`repro.verification.metamorphic`.
 3. **Golden corpus** — drift against the locked reference results
@@ -26,28 +28,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.engines import KIND_MODEL, KIND_SIMULATION, get_engine, with_injected_bug
 from repro.telemetry.recorder import current as _current_telemetry
 from repro.verification.cases import VerificationCase, profile_cases
-from repro.verification.engines import (
-    closed_form_engine,
-    enumeration_engine,
-    grant_mask_mismatch,
-    montecarlo_engine,
-    simulation_engine_run,
-    with_injected_bug,
-)
 from repro.verification.golden import check_corpus
 from repro.verification.metamorphic import run_metamorphic
 from repro.verification.tolerance import CheckResult, Estimate, compare
 
-__all__ = ["VerificationReport", "run_case", "run_profile"]
+__all__ = ["MODEL_ENGINES", "ENGINE_PAIRS", "VerificationReport",
+           "run_case", "run_profile"]
+
+#: Registry names of the model-producing engines the runner crosses
+#: all-pairs, cheapest first (``closed-form`` is the bug-injection
+#: target; the others are independent witnesses).
+MODEL_ENGINES = (
+    "closed-form",
+    "enumeration",
+    "monte-carlo",
+    "mc-stratified",
+    "mc-importance",
+)
 
 #: Engine-pair identifiers the runner can emit (the acceptance gate
-#: counts distinct pairs actually exercised).
-ENGINE_PAIRS = (
-    "closed-form|enumeration",
-    "closed-form|monte-carlo",
-    "enumeration|monte-carlo",
+#: counts distinct pairs actually exercised): all model-engine pairs
+#: plus the simulation- and protocol-level differentials.
+ENGINE_PAIRS = tuple(
+    f"{a}|{b}"
+    for i, a in enumerate(MODEL_ENGINES)
+    for b in MODEL_ENGINES[i + 1:]
+) + (
     "closed-form|simulation",
     "simulation|parallel",
     "simulation|audit",
@@ -122,12 +131,21 @@ class VerificationReport:
 def _model_pair_checks(
     case: VerificationCase, bug: Optional[str]
 ) -> List[CheckResult]:
-    """Cross the model-producing engines (closed/enum/MC) on one case."""
-    engines = [with_injected_bug(closed_form_engine(case), bug)]
-    enum = enumeration_engine(case)
-    if enum is not None:
-        engines.append(enum)
-    engines.append(montecarlo_engine(case))
+    """Cross every applicable model-producing engine on one case.
+
+    Engines resolve through the registry; one that returns ``None``
+    (enumeration past its state cap) is skipped. The injected bug, when
+    requested, is wired into the closed-form engine only — every other
+    engine is an independent witness that must then disagree.
+    """
+    engines = []
+    for name in MODEL_ENGINES:
+        engine = get_engine(name, kind=KIND_MODEL).build(case)
+        if engine is None:
+            continue
+        if name == "closed-form":
+            engine = with_injected_bug(engine, bug)
+        engines.append(engine)
     estimates = {e.name: e.availability_estimates(case) for e in engines}
     results: List[CheckResult] = []
     names = [e.name for e in engines]
@@ -148,10 +166,14 @@ def _simulation_checks(
     if case.sim_read_quorum is None:
         return []
     results: List[CheckResult] = []
-    serial = simulation_engine_run(case, n_workers=1, with_telemetry=True)
-    parallel = simulation_engine_run(case, n_workers=2)
+    sim_spec = get_engine("simulation", kind=KIND_SIMULATION)
+    par_spec = get_engine("parallel", kind=KIND_SIMULATION)
+    serial = sim_spec.build(case, n_workers=1, with_telemetry=True)
+    parallel = par_spec.build(case, n_workers=2)
 
-    closed = with_injected_bug(closed_form_engine(case), bug)
+    closed = with_injected_bug(
+        get_engine("closed-form", kind=KIND_MODEL).build(case), bug
+    )
     expected = float(closed.model.availability(case.alpha, case.sim_read_quorum))
     results.append(
         compare(
@@ -209,6 +231,8 @@ def _simulation_checks(
 
 def _protocol_checks(case: VerificationCase) -> List[CheckResult]:
     """Static quorum consensus vs never-reassigning QR protocol."""
+    from repro.engines import grant_mask_mismatch
+
     fraction, n_states = grant_mask_mismatch(case)
     return [
         compare(

@@ -40,7 +40,7 @@ from repro.quorum.availability import AvailabilityModel
 from repro.quorum.optimizer import optimal_read_quorum
 from repro.topology.model import Topology
 from repro.verification.cases import VerificationCase
-from repro.verification.engines import inject_bug_model
+from repro.engines import inject_bug_model
 from repro.verification.tolerance import EXACT_FLOOR, CheckResult
 
 __all__ = [

@@ -1,0 +1,186 @@
+"""Variance-reduced Monte-Carlo estimators (DESIGN.md §13).
+
+Three claims are load-bearing and tested here:
+
+- **Unbiasedness**: stratified and importance-sampled density matrices
+  converge to the closed forms / exhaustive enumeration the exact
+  engines compute — no systematic tilt from the stratification or the
+  proposal distribution.
+- **Exact stratum accounting** (Hypothesis): the Poisson-Binomial
+  stratum weights sum to 1 for any failure-probability vector, and
+  strata outside the retained set contribute exactly zero mass.
+- **Determinism**: both estimators are pure functions of their seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.ring import ring_density_matrix
+from repro.analytic.variance import (
+    ImportanceStats,
+    failure_count_weights,
+    importance_density_matrix,
+    stratified_density_matrix,
+)
+from repro.errors import DensityError, SimulationError
+from repro.topology.generators import fully_connected, ring
+
+#: Rows of every returned matrix are proper densities.
+
+
+def _assert_density_matrix(matrix, topology):
+    assert matrix.shape == (topology.n_sites, topology.total_votes + 1)
+    assert (matrix >= 0.0).all()
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestFailureCountWeights:
+    def test_matches_binomial_for_homogeneous_probs(self):
+        from math import comb
+
+        q = 0.2
+        weights = failure_count_weights(np.full(5, q))
+        expected = [comb(5, k) * q**k * (1 - q) ** (5 - k) for k in range(6)]
+        np.testing.assert_allclose(weights, expected, atol=1e-15)
+
+    def test_degenerate_components(self):
+        weights = failure_count_weights(np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_array_equal(weights, [0.0, 1.0, 0.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=12))
+    @settings(max_examples=200, deadline=None)
+    def test_weights_sum_to_one(self, probs):
+        weights = failure_count_weights(np.array(probs))
+        assert weights.shape == (len(probs) + 1,)
+        assert (weights >= 0.0).all()
+        np.testing.assert_allclose(weights.sum(), 1.0, atol=1e-12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DensityError, match="1-D"):
+            failure_count_weights(np.zeros((2, 2)))
+        with pytest.raises(DensityError, match=r"\[0, 1\]"):
+            failure_count_weights(np.array([0.5, 1.5]))
+
+
+class TestStratifiedUnbiasedness:
+    @pytest.mark.parametrize("allocation", ["proportional", "neyman"])
+    def test_converges_to_ring_closed_form(self, allocation):
+        topology = ring(7)
+        exact = ring_density_matrix(topology, 0.9, 0.9)
+        estimate = stratified_density_matrix(
+            topology, 0.9, 0.9, n_samples=60_000, seed=5,
+            allocation=allocation)
+        _assert_density_matrix(estimate, topology)
+        assert np.abs(estimate - exact).max() < 5e-3
+
+    def test_converges_on_complete_graph(self):
+        topology = fully_connected(5)
+        from repro.analytic.enumeration import enumerate_density_matrix
+
+        exact = enumerate_density_matrix(topology, 0.95, 0.95)
+        estimate = stratified_density_matrix(
+            topology, 0.95, 0.95, n_samples=60_000, seed=9)
+        _assert_density_matrix(estimate, topology)
+        assert np.abs(estimate - exact).max() < 5e-3
+
+    def test_seed_deterministic(self):
+        one = stratified_density_matrix(ring(7), 0.99, 0.99, n_samples=2_000,
+                                        seed=3)
+        two = stratified_density_matrix(ring(7), 0.99, 0.99, n_samples=2_000,
+                                        seed=3)
+        np.testing.assert_array_equal(one, two)
+
+    def test_perfect_reliability_is_exact(self):
+        # Only stratum 0 has mass: the estimate IS the deterministic
+        # all-up evaluation, regardless of budget.
+        topology = ring(7)
+        estimate = stratified_density_matrix(topology, 1.0, 1.0,
+                                             n_samples=100, seed=0)
+        expected = np.zeros((7, topology.total_votes + 1))
+        expected[:, topology.total_votes] = 1.0
+        np.testing.assert_allclose(estimate, expected, atol=1e-12)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SimulationError):
+            stratified_density_matrix(ring(7), 0.9, 0.9, n_samples=0)
+        with pytest.raises(SimulationError):
+            stratified_density_matrix(ring(7), 0.9, 0.9,
+                                      allocation="uniformly-wrong")
+
+
+class TestStratificationPlan:
+    def test_plan_reports_budget_and_mass(self):
+        matrix, plan = stratified_density_matrix(
+            ring(7), 0.99, 0.99, n_samples=4_000, seed=1, return_plan=True)
+        _assert_density_matrix(matrix, ring(7))
+        np.testing.assert_allclose(plan.weights.sum(), 1.0, atol=1e-12)
+        assert plan.retained_mass > 0.999
+        assert 0 in plan.exact_strata  # all-up handled deterministically
+        assert plan.sampled_states <= 4_000
+        assert all(count > 0 for count in plan.allocations.values())
+
+    @given(
+        p=st.floats(min_value=0.5, max_value=0.999),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dropped_strata_contribute_exactly_zero(self, p, seed):
+        topology = ring(5)
+        matrix, plan = stratified_density_matrix(
+            topology, p, p, n_samples=500, seed=seed, return_plan=True)
+        _assert_density_matrix(matrix, topology)
+        covered = set(plan.exact_strata) | set(plan.allocations)
+        m = plan.weights.shape[0] - 1
+        dropped_mass = sum(
+            plan.weights[k] for k in range(m + 1) if k not in covered)
+        np.testing.assert_allclose(
+            plan.retained_mass + dropped_mass, 1.0, atol=1e-9)
+
+
+class TestImportanceSampling:
+    def test_converges_to_ring_closed_form_rare_event(self):
+        topology = ring(7)
+        exact = ring_density_matrix(topology, 0.999, 0.999)
+        estimate = importance_density_matrix(
+            topology, 0.999, 0.999, n_samples=60_000, seed=5)
+        _assert_density_matrix(estimate, topology)
+        assert np.abs(estimate - exact).max() < 5e-3
+
+    def test_beats_plain_mc_in_rare_regime(self):
+        from repro.analytic.montecarlo import montecarlo_density_matrix
+
+        topology = ring(7)
+        exact = ring_density_matrix(topology, 0.999, 0.999)
+        plain_err = np.abs(
+            montecarlo_density_matrix(topology, 0.999, 0.999,
+                                      n_samples=4_000, seed=2) - exact).max()
+        is_err = np.abs(
+            importance_density_matrix(topology, 0.999, 0.999,
+                                      n_samples=4_000, seed=2) - exact).max()
+        assert is_err < plain_err
+
+    def test_seed_deterministic(self):
+        one = importance_density_matrix(ring(7), 0.999, 0.999,
+                                        n_samples=2_000, seed=3)
+        two = importance_density_matrix(ring(7), 0.999, 0.999,
+                                        n_samples=2_000, seed=3)
+        np.testing.assert_array_equal(one, two)
+
+    def test_stats_bound_the_weights(self):
+        _, stats = importance_density_matrix(
+            ring(7), 0.999, 0.999, n_samples=4_000, seed=1,
+            return_stats=True)
+        assert isinstance(stats, ImportanceStats)
+        assert stats.n_samples == 4_000
+        assert 0 < stats.effective_samples <= stats.n_samples
+        # Defensive mixture bounds every weight by 1/lambda.
+        assert stats.max_weight <= 1.0 / 0.25 + 1e-12
+        assert stats.mean_weight == pytest.approx(1.0, rel=0.2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SimulationError):
+            importance_density_matrix(ring(7), 0.999, 0.999, n_samples=0)
+        with pytest.raises(SimulationError):
+            importance_density_matrix(ring(7), 0.999, 0.999, mixture=0.0)

@@ -95,3 +95,32 @@ class TestGateIntegration:
         self._write(current_dir / "BENCH_demo.json", entry)
         assert mod.check_file(baseline_dir / "BENCH_demo.json",
                               current_dir, threshold=0.25) == []
+
+
+class TestDuplicateSidecars:
+    """The gate rejects double-prefixed and colliding BENCH sidecars."""
+
+    def test_clean_directory_passes(self, mod, tmp_path):
+        (tmp_path / "BENCH_serving.json").write_text("{}")
+        (tmp_path / "BENCH_optimizers.json").write_text("{}")
+        assert mod.find_duplicate_sidecars(tmp_path) == []
+
+    def test_double_prefix_rejected(self, mod, tmp_path):
+        (tmp_path / "BENCH_bench_serving.json").write_text("{}")
+        offenders = mod.find_duplicate_sidecars(tmp_path)
+        assert len(offenders) == 1
+        assert "double-prefixed" in offenders[0]
+        assert "'serving'" in offenders[0]
+
+    def test_normalized_collision_rejected(self, mod, tmp_path):
+        # The historical failure mode: a stale double-prefixed sidecar
+        # next to the canonical baseline for the same bench.
+        (tmp_path / "BENCH_serving.json").write_text("{}")
+        (tmp_path / "BENCH_bench_serving.json").write_text("{}")
+        offenders = mod.find_duplicate_sidecars(tmp_path)
+        assert any("duplicates" in text for text in offenders)
+
+    def test_non_bench_files_ignored(self, mod, tmp_path):
+        (tmp_path / "results.txt").write_text("scratch")
+        (tmp_path / "bench_serving.py").write_text("# code")
+        assert mod.find_duplicate_sidecars(tmp_path) == []

@@ -1,0 +1,171 @@
+"""The shared-memory pool transport: slots, layout, fallback, stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.protocols.estimator import OnlineDensityEstimator
+from repro.protocols.majority import MajorityConsensusProtocol
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import BatchResult
+from repro.simulation.parallel import (
+    TRANSPORT_ENV,
+    resolve_transport,
+    run_batches_parallel,
+)
+from repro.simulation.shm import BatchSlotLayout, SlotPool, shm_supported
+from repro.topology.generators import ring
+
+
+def _batch_result(n_sites=5, total_votes=5, seed=3):
+    rng = np.random.default_rng(seed)
+    density_time = OnlineDensityEstimator(n_sites, total_votes)
+    density_access = OnlineDensityEstimator(n_sites, total_votes)
+    density_time._weights[:] = rng.random((n_sites, total_votes + 1))
+    density_access._weights[:] = rng.random((n_sites, total_votes + 1))
+    return BatchResult(
+        reads_submitted=101.5, reads_granted=99.25,
+        writes_submitted=50.0, writes_granted=48.75,
+        surv_read=0.993, surv_write=0.981,
+        measured_time=1234.5, n_epochs=42, n_events=137,
+        density_time=density_time, density_access=density_access,
+        max_votes_time=rng.random(total_votes + 1),
+    )
+
+
+class TestBatchSlotLayout:
+    def test_slot_sizing(self):
+        layout = BatchSlotLayout(n_sites=5, total_votes=5)
+        assert layout.density_floats == 5 * 6
+        assert layout.slot_floats == 9 + 2 * 30 + 6
+        assert layout.slot_bytes == layout.slot_floats * 8
+
+    def test_pack_unpack_is_bitwise(self):
+        layout = BatchSlotLayout(n_sites=5, total_votes=5)
+        batch = _batch_result()
+        view = np.zeros(layout.slot_floats)
+        layout.pack(view, batch)
+        rebuilt = layout.unpack(view)
+        assert rebuilt.reads_submitted == batch.reads_submitted
+        assert rebuilt.writes_granted == batch.writes_granted
+        assert rebuilt.surv_read == batch.surv_read
+        assert rebuilt.measured_time == batch.measured_time
+        assert rebuilt.n_epochs == batch.n_epochs
+        assert rebuilt.n_events == batch.n_events
+        np.testing.assert_array_equal(
+            rebuilt.density_time._weights, batch.density_time._weights)
+        np.testing.assert_array_equal(
+            rebuilt.density_access._weights, batch.density_access._weights)
+        np.testing.assert_array_equal(
+            rebuilt.max_votes_time, batch.max_votes_time)
+        assert rebuilt.trace is None
+
+    def test_unpack_copies_out_of_the_slot(self):
+        layout = BatchSlotLayout(n_sites=5, total_votes=5)
+        view = np.zeros(layout.slot_floats)
+        layout.pack(view, _batch_result())
+        rebuilt = layout.unpack(view)
+        before = rebuilt.density_time._weights.copy()
+        view[:] = -1.0  # the pool is about to be unlinked
+        np.testing.assert_array_equal(rebuilt.density_time._weights, before)
+
+
+@pytest.mark.skipif(not shm_supported(), reason="no shared memory here")
+class TestSlotPool:
+    def test_create_attach_roundtrip(self):
+        pool = SlotPool.create(slot_floats=16, n_slots=3)
+        try:
+            pool.slot(1)[:] = np.arange(16.0)
+            peer = SlotPool.attach(pool.name, 16, 3)
+            np.testing.assert_array_equal(peer.slot(1), np.arange(16.0))
+            assert np.all(peer.slot(0) == 0.0)
+            peer.close()
+        finally:
+            pool.close()
+
+    def test_out_of_range_slot_rejected(self):
+        pool = SlotPool.create(slot_floats=4, n_slots=2)
+        try:
+            with pytest.raises(SimulationError, match="slot index"):
+                pool.slot(2)
+            with pytest.raises(SimulationError, match="slot index"):
+                pool.slot(-1)
+        finally:
+            pool.close()
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(SimulationError, match="positive dimensions"):
+            SlotPool.create(slot_floats=0, n_slots=2)
+
+
+class TestResolveTransport:
+    def test_default_is_shm_when_supported(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert resolve_transport() in ("shm", "pickle")
+
+    def test_env_forces_pickle(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "pickle")
+        assert resolve_transport() == "pickle"
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "pickle")
+        if shm_supported():
+            assert resolve_transport("shm") == "shm"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SimulationError, match="unknown pool transport"):
+            resolve_transport("carrier-pigeon")
+
+
+class TestTransportEquivalence:
+    """SHM and pickle transports produce bitwise-identical outcomes."""
+
+    def _config(self):
+        return SimulationConfig.paper_like(
+            ring(9), alpha=0.5, warmup_accesses=50.0,
+            accesses_per_batch=300.0, n_batches=3, seed=11,
+        )
+
+    def _run(self, transport, stats=None):
+        config = self._config()
+        protocol = MajorityConsensusProtocol(config.topology.total_votes)
+        return run_batches_parallel(
+            config, protocol, range(config.n_batches), n_workers=2,
+            transport=transport, transport_stats=stats,
+        )
+
+    @pytest.mark.skipif(not shm_supported(), reason="no shared memory here")
+    @pytest.mark.slow
+    def test_shm_matches_pickle_bitwise(self):
+        shm_stats, pickle_stats = {}, {}
+        shm_outcomes = self._run("shm", shm_stats)
+        pickle_outcomes = self._run("pickle", pickle_stats)
+        assert shm_stats["transport"] == "shm"
+        assert pickle_stats["transport"] == "pickle"
+        for a, b in zip(shm_outcomes, pickle_outcomes):
+            assert a.batch_index == b.batch_index
+            assert a.batch.reads_granted == b.batch.reads_granted
+            assert a.batch.surv_write == b.batch.surv_write
+            np.testing.assert_array_equal(
+                a.batch.density_time._weights, b.batch.density_time._weights)
+            np.testing.assert_array_equal(
+                a.batch.density_access._weights,
+                b.batch.density_access._weights)
+            np.testing.assert_array_equal(
+                a.batch.max_votes_time, b.batch.max_votes_time)
+
+    @pytest.mark.skipif(not shm_supported(), reason="no shared memory here")
+    @pytest.mark.slow
+    def test_shm_slashes_pickled_bytes(self):
+        shm_stats, pickle_stats = {}, {}
+        self._run("shm", shm_stats)
+        self._run("pickle", pickle_stats)
+        assert shm_stats["n_batches"] == pickle_stats["n_batches"] == 3
+        assert shm_stats["pickled_bytes"] < 0.1 * pickle_stats["pickled_bytes"]
+
+    @pytest.mark.slow
+    def test_env_knob_reaches_the_pool(self, monkeypatch):
+        monkeypatch.setenv(TRANSPORT_ENV, "pickle")
+        stats = {}
+        self._run(None, stats)
+        assert stats["transport"] == "pickle"

@@ -365,7 +365,7 @@ class TestVerify:
         code, out, _ = run_cli(capsys, "verify", "--profile", "quick")
         assert code == 0
         assert "0 failed" in out
-        assert "engine pairs (7)" in out
+        assert "engine pairs (14)" in out
 
     @pytest.mark.slow
     def test_real_injected_off_by_one_exits_one(self, capsys):
@@ -378,6 +378,42 @@ class TestVerify:
         assert code == 1
         assert "quorum-off-by-one" in out
         assert "FAIL" in out
+
+
+class TestEngines:
+    def test_lists_all_builtin_engines(self, capsys):
+        code, out, _ = run_cli(capsys, "engines")
+        assert code == 0
+        assert "registered engines (8)" in out
+        for name in ("closed-form", "enumeration", "monte-carlo",
+                     "mc-stratified", "mc-importance", "simulation",
+                     "parallel", "online-density"):
+            assert name in out
+
+    def test_kind_filter(self, capsys):
+        code, out, _ = run_cli(capsys, "engines", "--kind", "model")
+        assert code == 0
+        assert "registered engines (5)" in out
+        assert "simulation" not in out.splitlines()[0]
+        assert "online-density" not in out
+
+    def test_capability_filter(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "engines", "--capability", "variance-reduced")
+        assert code == 0
+        assert "mc-stratified" in out
+        assert "mc-importance" in out
+        assert "closed-form" not in out
+
+    def test_no_match_message(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "engines", "--capability", "quantum")
+        assert code == 0
+        assert "no engines match" in out
+
+    def test_unknown_kind_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engines", "--kind", "psychic"])
 
 
 class TestCache:

@@ -59,6 +59,7 @@ class TestLockedCorpus:
         assert all(r.check == "golden-corpus" for r in corpus_results)
         assert all(r.drift >= 0.0 for r in corpus_results)
 
+    @pytest.mark.slow  # two full corpus generations (MC + simulation)
     def test_generation_is_deterministic(self):
         a = generate_corpus()
         b = generate_corpus()
