@@ -26,6 +26,11 @@ writing Python:
   Monte-Carlo estimate, vote search, simulation, serving scenario) under
   the tracing recorder and export a Perfetto-loadable Chrome trace plus
   a span JSONL stream, with a phase table and critical path printed.
+- ``shard``             — the vectorized N-item sharded simulation:
+  Zipf/hotspot item skew, per-item vote vectors and read quorums, one
+  shared component labelling per network state, optional per-class
+  quorum optimization (``--optimize``), bitwise identical for any
+  ``--workers``.
 - ``verify``            — the differential-verification battery: every
   applicable engine pair, the metamorphic relations, and the golden
   regression corpus. Exit 0 = all checks pass, 1 = divergence,
@@ -680,6 +685,90 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.errors import ShardingError
+    from repro.sharding import (
+        ItemWorkload,
+        ShardConfig,
+        optimize_shards,
+        run_sharded,
+    )
+    from repro.topology.generators import bus, fully_connected, ring
+
+    if args.items < 1:
+        raise ShardingError(f"--items must be >= 1, got {args.items}")
+    builders = {"ring": ring, "complete": fully_connected, "bus": bus}
+    topology = builders[args.family](args.sites)
+    n_sites = topology.n_sites
+
+    if args.alpha_classes:
+        alphas = np.resize(
+            np.asarray(args.alpha_classes, dtype=np.float64), args.items
+        )
+    else:
+        alphas = np.full(args.items, args.alpha)
+
+    if args.dist == "zipf":
+        workload = ItemWorkload.zipf(
+            args.items, n_sites, alphas, exponent=args.exponent
+        )
+    elif args.dist == "hotspot":
+        workload = ItemWorkload.hotspot(
+            args.items, n_sites, alphas,
+            hot_items=range(min(args.hot, args.items)),
+            hot_fraction=args.hot_fraction,
+        )
+    else:
+        workload = ItemWorkload.uniform(args.items, n_sites, alphas)
+
+    read_quorums = None
+    plan = None
+    if args.optimize:
+        plan = optimize_shards(
+            topology, alphas, args.p, args.r, seed=args.seed
+        )
+        read_quorums = plan.read_quorums
+
+    config = ShardConfig(
+        topology=topology,
+        workload=workload,
+        read_quorums=read_quorums,
+        warmup_accesses=args.warmup,
+        accesses_per_batch=args.accesses,
+        n_batches=args.batches,
+        seed=args.seed,
+    )
+    stats: dict = {}
+    result = run_sharded(
+        config,
+        engine=args.engine,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        transport_stats=stats,
+    )
+
+    print(f"sharded run     : {args.family}-{args.sites}, {args.items} items "
+          f"({args.dist}), engine={args.engine}, workers={args.workers} "
+          f"[{stats.get('transport', 'serial')}]")
+    if plan is not None:
+        print(f"optimization    : {plan.optimizations_run} per-class runs "
+              f"for {plan.n_items} items")
+        for group, best in zip(plan.groups, plan.group_results):
+            print(f"  class alpha={group.alpha:g} ({group.size} items): "
+                  f"q_r={best.read_quorum}, A*={best.availability:.4f}")
+    print(f"batches         : {args.batches} x {args.accesses:g} accesses "
+          f"(+ {args.warmup:g} warm-up)")
+    submitted = int(result.reads_submitted.sum() + result.writes_submitted.sum())
+    print(f"availability    : {result.availability:.4f} "
+          f"(pooled ACC over {submitted} accesses)")
+    item_acc = result.item_availability
+    print(f"item ACC        : min {item_acc.min():.4f} / "
+          f"mean {item_acc.mean():.4f} / max {item_acc.max():.4f}")
+    print(f"SURV            : read {result.surv_read.mean():.4f}, "
+          f"write {result.surv_write.mean():.4f} (item mean)")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validation import validate_reproduction
 
@@ -936,6 +1025,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="show the N checks closest to their tolerance")
     _add_telemetry_args(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    shard = sub.add_parser(
+        "shard",
+        help="vectorized N-item sharded simulation with per-shard "
+        "quorum optimization",
+    )
+    shard.add_argument("--family", choices=_DENSITY_FAMILIES, required=True,
+                       help="topology family (required)")
+    shard.add_argument("--sites", type=int, default=9)
+    shard.add_argument("--items", type=int, default=100, metavar="N",
+                       help="number of replicated items")
+    shard.add_argument("--dist", choices=("uniform", "zipf", "hotspot"),
+                       default="zipf", help="item-access skew")
+    shard.add_argument("--exponent", type=float, default=1.0,
+                       help="Zipf exponent for --dist zipf")
+    shard.add_argument("--hot", type=int, default=1,
+                       help="number of hot items for --dist hotspot")
+    shard.add_argument("--hot-fraction", type=float, default=0.8,
+                       help="traffic share of the hot items")
+    shard.add_argument("--alpha", type=float, default=0.5,
+                       help="read fraction for every item")
+    shard.add_argument("--alpha-classes", type=float, nargs="+", default=None,
+                       metavar="A", help="per-class read fractions, tiled "
+                       "over the items (defines the workload classes)")
+    shard.add_argument("--batches", type=int, default=3)
+    shard.add_argument("--accesses", type=float, default=5_000.0,
+                       help="accesses per measured batch")
+    shard.add_argument("--warmup", type=float, default=500.0)
+    shard.add_argument("--engine", choices=("vectorized", "reference"),
+                       default="vectorized")
+    shard.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="vectorized item-chunk bound (any value is "
+                       "bitwise identical)")
+    shard.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="fan batches over N processes; bitwise "
+                       "identical for any N")
+    shard.add_argument("--optimize", action="store_true",
+                       help="run the per-class quorum optimization and "
+                       "simulate the optimized assignment")
+    shard.add_argument("--p", type=float, default=0.96,
+                       help="site reliability for --optimize")
+    shard.add_argument("--r", type=float, default=0.96,
+                       help="link reliability for --optimize")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.set_defaults(func=_cmd_shard)
 
     engines_p = sub.add_parser(
         "engines",

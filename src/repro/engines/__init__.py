@@ -29,6 +29,8 @@ from repro.engines.adapters import (
     montecarlo_engine,
     online_density_model,
     register_builtin_engines,
+    sharded_engine_run,
+    sharded_reference_run,
     simulation_engine_run,
     stratified_mc_engine,
     with_injected_bug,
@@ -51,6 +53,8 @@ __all__ = [
     "stratified_mc_engine",
     "importance_mc_engine",
     "simulation_engine_run",
+    "sharded_engine_run",
+    "sharded_reference_run",
     "online_density_model",
     "grant_mask_mismatch",
     "OffByOneModel",

@@ -61,6 +61,8 @@ __all__ = [
     "stratified_mc_engine",
     "importance_mc_engine",
     "simulation_engine_run",
+    "sharded_engine_run",
+    "sharded_reference_run",
     "online_density_model",
     "grant_mask_mismatch",
     "OffByOneModel",
@@ -277,6 +279,34 @@ def _no_sim_error(case: VerificationCase):
 
 
 # ----------------------------------------------------------------------
+# Sharded multi-item engines
+# ----------------------------------------------------------------------
+
+def sharded_engine_run(config, n_workers: int = 1, chunk_size=None,
+                       transport=None):
+    """Run a :class:`~repro.sharding.config.ShardConfig` campaign.
+
+    Unlike the case-based simulation engines, the sharded builders take
+    the shard configuration directly — a verification case describes one
+    item, a shard config describes N of them. The differential runner's
+    sharded checks build the config from a case and call these.
+    """
+    from repro.sharding.runner import run_sharded
+
+    return run_sharded(config, engine="vectorized", n_workers=n_workers,
+                       chunk_size=chunk_size, transport=transport)
+
+
+def sharded_reference_run(config, n_workers: int = 1, chunk_size=None,
+                          transport=None):
+    """The retained per-item ``multidb`` loop (the bitwise oracle)."""
+    from repro.sharding.runner import run_sharded
+
+    return run_sharded(config, engine="reference", n_workers=n_workers,
+                       chunk_size=chunk_size, transport=transport)
+
+
+# ----------------------------------------------------------------------
 # Density-model engines (the serving control loop's path)
 # ----------------------------------------------------------------------
 
@@ -469,6 +499,33 @@ def register_builtin_engines(replace: bool = False) -> None:
             builder=lambda case, n_workers=2, with_telemetry=False:
                 simulation_engine_run(case, n_workers=n_workers,
                                       with_telemetry=with_telemetry),
+        ),
+        EngineSpec(
+            name="sharded",
+            kind=KIND_SIMULATION,
+            description="Vectorized N-item sharded simulation: one "
+                        "component labelling per network state shared "
+                        "across all items, per-item quorum decisions via "
+                        "bincount/gather",
+            capabilities=frozenset({"statistical", "protocol-level",
+                                    "bitwise-parallel", "multi-item"}),
+            cost_hint="O(epochs * (labelling + n_items)); ~10x+ faster "
+                      "than the per-item loop at 10^4 items",
+            cost_rank=12,
+            builder=sharded_engine_run,
+        ),
+        EngineSpec(
+            name="sharded-reference",
+            kind=KIND_SIMULATION,
+            description="Per-item multidb reference loop for the sharded "
+                        "engine; the bitwise oracle the vectorized path "
+                        "must match exactly",
+            capabilities=frozenset({"statistical", "protocol-level",
+                                    "multi-item", "reference"}),
+            cost_hint="O(epochs * n_items * n_sites) Python-loop cost; "
+                      "differential-testing only",
+            cost_rank=13,
+            builder=sharded_reference_run,
         ),
         EngineSpec(
             name="online-density",

@@ -23,6 +23,7 @@ __all__ = [
     "QuorumConstraintError",
     "VoteAssignmentError",
     "SimulationError",
+    "ShardingError",
     "ProtocolError",
     "DensityError",
     "OptimizationError",
@@ -132,6 +133,10 @@ class VoteAssignmentError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the discrete-event simulator is misconfigured."""
+
+
+class ShardingError(SimulationError):
+    """Raised when the sharded multi-item engine is misconfigured."""
 
 
 class ProtocolError(ReproError):

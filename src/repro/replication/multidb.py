@@ -106,6 +106,10 @@ class MultiItemDatabase:
         self._check_item(item_id)
         return self._trackers[item_id]
 
+    def binding_for(self, item_id: str) -> ItemBinding:
+        self._check_item(item_id)
+        return self._bindings[item_id]
+
     def _check_item(self, item_id: str) -> None:
         if item_id not in self._bindings:
             raise ReproError(f"unknown item {item_id!r}")

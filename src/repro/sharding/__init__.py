@@ -1,0 +1,52 @@
+"""Sharded multi-item simulation: N items, one network, no Python loops.
+
+The package generalizes the paper's single replicated item to the
+multi-tenant workload the ROADMAP's north star describes: ``(n_items,
+n_sites)`` vote matrices, ``(n_items,)`` read-quorum vectors, Zipf- or
+hotspot-skewed item access, and per-shard quorum optimization grouped by
+``(alpha, votes)`` workload class. See DESIGN.md §14.
+
+- :mod:`repro.sharding.workload` — the joint (item, site) access sampler;
+- :mod:`repro.sharding.config` — :class:`ShardConfig`;
+- :mod:`repro.sharding.engine` — the vectorized engine and the per-item
+  ``multidb`` reference it matches bitwise;
+- :mod:`repro.sharding.optimizer` — per-class quorum/vote optimization;
+- :mod:`repro.sharding.runner` — batch fan-out (bitwise for any
+  ``--workers``) over the shared-memory slot transport.
+"""
+
+from repro.sharding.config import ShardConfig
+from repro.sharding.engine import (
+    ReferenceShardEngine,
+    ShardBatchResult,
+    ShardedEngine,
+)
+from repro.sharding.optimizer import (
+    ShardGroup,
+    ShardPlan,
+    ShardVotePlan,
+    group_items,
+    optimize_shard_votes,
+    optimize_shards,
+)
+from repro.sharding.runner import ENGINE_KINDS, ShardRunResult, run_sharded
+from repro.sharding.transport import ShardSlotLayout
+from repro.sharding.workload import ItemWorkload
+
+__all__ = [
+    "ENGINE_KINDS",
+    "ItemWorkload",
+    "ReferenceShardEngine",
+    "ShardBatchResult",
+    "ShardConfig",
+    "ShardGroup",
+    "ShardPlan",
+    "ShardRunResult",
+    "ShardSlotLayout",
+    "ShardVotePlan",
+    "ShardedEngine",
+    "group_items",
+    "optimize_shard_votes",
+    "optimize_shards",
+    "run_sharded",
+]

@@ -1,0 +1,98 @@
+"""Shared-memory slot layout for sharded batch results.
+
+The sharded analogue of :class:`repro.simulation.shm.BatchSlotLayout`:
+one preallocated ``float64`` slot per batch carrying the *per-item*
+payload — four count vectors, two survivability-time vectors, and two
+``(n_items, width)`` density tables::
+
+    [ scalars (3: measured_time, n_epochs, n_events)
+      | reads_submitted (n) | reads_granted (n)
+      | writes_submitted (n) | writes_granted (n)
+      | surv_read_time (n) | surv_write_time (n)
+      | density_time (n * width) | density_access (n * width) ]
+
+Counts cross as float64 (exact well past 2**53) and are cast back to
+int64 on unpack, so the rehydrated :class:`ShardBatchResult` is bitwise
+identical to the worker's — the same guarantee the single-item pool
+transport ships under. The :class:`~repro.simulation.shm.SlotPool`
+itself is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sharding.engine import ShardBatchResult
+
+__all__ = ["ShardSlotLayout"]
+
+_N_SCALARS = 3
+
+
+@dataclass(frozen=True)
+class ShardSlotLayout:
+    """Fixed slot layout for one :class:`ShardBatchResult`."""
+
+    n_items: int
+    width: int  # max_total_votes + 1
+
+    @property
+    def density_floats(self) -> int:
+        return self.n_items * self.width
+
+    @property
+    def slot_floats(self) -> int:
+        return _N_SCALARS + 6 * self.n_items + 2 * self.density_floats
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.slot_floats * 8
+
+    # ------------------------------------------------------------------
+    def pack(self, view: np.ndarray, batch: ShardBatchResult) -> None:
+        """Write ``batch``'s numeric payload into one slot (worker side)."""
+        n = self.n_items
+        d = self.density_floats
+        view[0] = batch.measured_time
+        view[1] = float(batch.n_epochs)
+        view[2] = float(batch.n_events)
+        offset = _N_SCALARS
+        for arr in (
+            batch.reads_submitted,
+            batch.reads_granted,
+            batch.writes_submitted,
+            batch.writes_granted,
+            batch.surv_read_time,
+            batch.surv_write_time,
+        ):
+            view[offset: offset + n] = arr
+            offset += n
+        view[offset: offset + d] = batch.density_time.ravel()
+        view[offset + d: offset + 2 * d] = batch.density_access.ravel()
+
+    def unpack(self, view: np.ndarray, batch_index: int) -> ShardBatchResult:
+        """Rebuild a :class:`ShardBatchResult` from one slot (dispatcher)."""
+        n = self.n_items
+        d = self.density_floats
+        shape = (n, self.width)
+        offset = _N_SCALARS
+        vectors = []
+        for _ in range(6):
+            vectors.append(view[offset: offset + n].copy())
+            offset += n
+        return ShardBatchResult(
+            batch_index=batch_index,
+            reads_submitted=vectors[0].astype(np.int64),
+            reads_granted=vectors[1].astype(np.int64),
+            writes_submitted=vectors[2].astype(np.int64),
+            writes_granted=vectors[3].astype(np.int64),
+            surv_read_time=vectors[4],
+            surv_write_time=vectors[5],
+            measured_time=float(view[0]),
+            n_epochs=int(view[1]),
+            n_events=int(view[2]),
+            density_time=view[offset: offset + d].reshape(shape).copy(),
+            density_access=view[offset + d: offset + 2 * d].reshape(shape).copy(),
+        )

@@ -1,0 +1,308 @@
+"""Item-access workloads: who touches which item from which site.
+
+The single-item :class:`~repro.simulation.workload.AccessWorkload` models
+*per-site* skew — where accesses are submitted. A sharded database also
+needs *per-item* skew: a few hot catalog entries absorb most of the
+traffic while the long tail idles. :class:`ItemWorkload` composes the
+two: a probability vector over items (uniform, Zipf, or hotspot —
+mirroring the per-site constructors), a per-item read fraction
+``alpha_i``, and the per-site submission weights of the single-item API.
+
+Sampling is exact Poisson thinning, arranged so that the ``n_items=1``
+case consumes the random stream in *exactly* the same order as
+``AccessWorkload.sample_epoch``:
+
+1. ``total ~ Poisson(rate * duration)``;
+2. ``n_reads ~ Binomial(total, mean_alpha)`` with
+   ``mean_alpha = sum_i w_i alpha_i`` (for one item this is its alpha);
+3. ``reads ~ Multinomial(n_reads, read_item_weights (x) read_site_weights)``
+   over the flattened ``(item, site)`` grid, where
+   ``read_item_weights_i = w_i alpha_i / mean_alpha`` (for one item the
+   flattened grid *is* the per-site weight vector);
+4. the same for writes with ``w_i (1 - alpha_i) / (1 - mean_alpha)``.
+
+That makes the N=1 sharded run bitwise identical to the existing
+single-item engine — a property test locks it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ItemWorkload"]
+
+
+def _normalize_weights(
+    weights: Union[np.ndarray, Sequence[float]], count: int, label: str
+) -> np.ndarray:
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.shape != (count,):
+        raise SimulationError(
+            f"{label} must have shape ({count},), got {arr.shape}"
+        )
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise SimulationError(f"{label} must be finite and non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise SimulationError(f"{label} must have positive total mass")
+    return arr / total
+
+
+def _alpha_vector(
+    alpha: Union[float, np.ndarray, Sequence[float]], n_items: int
+) -> np.ndarray:
+    arr = np.asarray(alpha, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(n_items, float(arr))
+    if arr.shape != (n_items,):
+        raise SimulationError(
+            f"alphas must be scalar or shape ({n_items},), got {arr.shape}"
+        )
+    if np.any(arr < 0.0) or np.any(arr > 1.0):
+        raise SimulationError("every item alpha must lie in [0, 1]")
+    return arr
+
+
+@dataclass(frozen=True)
+class ItemWorkload:
+    """Joint (item, site) access distribution for a sharded database.
+
+    ``item_weights`` is the marginal over items, ``read_site_weights`` /
+    ``write_site_weights`` the (shared) per-site submission skew, and
+    ``alphas`` the per-item read fraction. ``rate_per_site`` scales the
+    aggregate Poisson rate exactly like the single-item workload.
+    """
+
+    n_items: int
+    n_sites: int
+    item_weights: np.ndarray
+    alphas: np.ndarray
+    read_site_weights: np.ndarray
+    write_site_weights: np.ndarray
+    rate_per_site: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise SimulationError(
+                f"need at least one item, got n_items={self.n_items}"
+            )
+        if self.n_sites < 1:
+            raise SimulationError(
+                f"need at least one site, got n_sites={self.n_sites}"
+            )
+        if self.rate_per_site <= 0:
+            raise SimulationError("rate_per_site must be positive")
+        object.__setattr__(
+            self, "item_weights",
+            _normalize_weights(self.item_weights, self.n_items, "item_weights"),
+        )
+        object.__setattr__(
+            self, "alphas", _alpha_vector(self.alphas, self.n_items)
+        )
+        object.__setattr__(
+            self, "read_site_weights",
+            _normalize_weights(
+                self.read_site_weights, self.n_sites, "read_site_weights"
+            ),
+        )
+        object.__setattr__(
+            self, "write_site_weights",
+            _normalize_weights(
+                self.write_site_weights, self.n_sites, "write_site_weights"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors (mirroring AccessWorkload's per-site skew API)
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        n_items: int,
+        n_sites: int,
+        alpha: Union[float, Sequence[float]],
+        rate_per_site: float = 1.0,
+    ) -> "ItemWorkload":
+        """Every item equally popular, every site submitting equally."""
+        return cls(
+            n_items=n_items,
+            n_sites=n_sites,
+            item_weights=np.full(max(n_items, 1), 1.0),
+            alphas=np.asarray(alpha, dtype=np.float64),
+            # 1/n before normalization, matching AccessWorkload.uniform
+            # bit for bit (the N=1 parity contract).
+            read_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            write_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            rate_per_site=rate_per_site,
+        )
+
+    @classmethod
+    def zipf(
+        cls,
+        n_items: int,
+        n_sites: int,
+        alpha: Union[float, Sequence[float]],
+        exponent: float = 1.0,
+        rate_per_site: float = 1.0,
+    ) -> "ItemWorkload":
+        """Item ``i`` weighted ``1 / (i + 1) ** exponent`` (hot head at 0)."""
+        if exponent < 0:
+            raise SimulationError(
+                f"zipf exponent must be non-negative, got {exponent}"
+            )
+        if n_items < 1:
+            raise SimulationError(
+                f"need at least one item, got n_items={n_items}"
+            )
+        ranks = np.arange(1, n_items + 1, dtype=np.float64)
+        return cls(
+            n_items=n_items,
+            n_sites=n_sites,
+            item_weights=ranks ** -float(exponent),
+            alphas=np.asarray(alpha, dtype=np.float64),
+            # 1/n before normalization, matching AccessWorkload.uniform
+            # bit for bit (the N=1 parity contract).
+            read_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            write_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            rate_per_site=rate_per_site,
+        )
+
+    @classmethod
+    def hotspot(
+        cls,
+        n_items: int,
+        n_sites: int,
+        alpha: Union[float, Sequence[float]],
+        hot_items: Sequence[int],
+        hot_fraction: float = 0.8,
+        rate_per_site: float = 1.0,
+    ) -> "ItemWorkload":
+        """``hot_fraction`` of traffic lands on ``hot_items``, rest uniform."""
+        if not 0.0 < hot_fraction < 1.0:
+            raise SimulationError(
+                f"hot_fraction must lie in (0, 1), got {hot_fraction}"
+            )
+        hot = sorted(set(int(i) for i in hot_items))
+        if not hot:
+            raise SimulationError("hotspot workload needs at least one hot item")
+        if hot[0] < 0 or hot[-1] >= n_items:
+            raise SimulationError(
+                f"hot items {hot} outside the 0..{n_items - 1} item range"
+            )
+        cold = n_items - len(hot)
+        if cold == 0:
+            raise SimulationError("hotspot workload needs at least one cold item")
+        weights = np.full(n_items, (1.0 - hot_fraction) / cold)
+        weights[hot] = hot_fraction / len(hot)
+        return cls(
+            n_items=n_items,
+            n_sites=n_sites,
+            item_weights=weights,
+            alphas=np.asarray(alpha, dtype=np.float64),
+            # 1/n before normalization, matching AccessWorkload.uniform
+            # bit for bit (the N=1 parity contract).
+            read_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            write_site_weights=np.full(max(n_sites, 1), 1.0 / max(n_sites, 1)),
+            rate_per_site=rate_per_site,
+        )
+
+    def with_site_weights(
+        self,
+        read_site_weights: Sequence[float],
+        write_site_weights: Optional[Sequence[float]] = None,
+    ) -> "ItemWorkload":
+        """Replace the per-site submission skew (per-item mix unchanged)."""
+        writes = (
+            read_site_weights if write_site_weights is None else write_site_weights
+        )
+        return ItemWorkload(
+            n_items=self.n_items,
+            n_sites=self.n_sites,
+            item_weights=self.item_weights,
+            alphas=self.alphas,
+            read_site_weights=np.asarray(read_site_weights, dtype=np.float64),
+            write_site_weights=np.asarray(writes, dtype=np.float64),
+            rate_per_site=self.rate_per_site,
+        )
+
+    def with_alphas(
+        self, alpha: Union[float, Sequence[float]]
+    ) -> "ItemWorkload":
+        return ItemWorkload(
+            n_items=self.n_items,
+            n_sites=self.n_sites,
+            item_weights=self.item_weights,
+            alphas=np.asarray(alpha, dtype=np.float64),
+            read_site_weights=self.read_site_weights,
+            write_site_weights=self.write_site_weights,
+            rate_per_site=self.rate_per_site,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_rate(self) -> float:
+        """Total access rate across all sites (items share the budget)."""
+        return self.n_sites * self.rate_per_site
+
+    @property
+    def mean_alpha(self) -> float:
+        """Traffic-weighted read fraction (the Poisson-thinning split)."""
+        return float((self.item_weights * self.alphas).sum())
+
+    def _joint_weights(self) -> Tuple[float, np.ndarray, np.ndarray]:
+        """(mean_alpha, read pvals, write pvals) over the (item, site) grid.
+
+        For a single item the outer product with its weight-1 marginal
+        reproduces the per-site vector bitwise, which is what keeps the
+        N=1 run identical to the single-item engine.
+        """
+        mean_alpha = self.mean_alpha
+        if mean_alpha > 0.0:
+            read_items = self.item_weights * self.alphas / mean_alpha
+        else:
+            read_items = self.item_weights
+        if mean_alpha < 1.0:
+            write_items = (
+                self.item_weights * (1.0 - self.alphas) / (1.0 - mean_alpha)
+            )
+        else:
+            write_items = self.item_weights
+        read_p = np.outer(read_items, self.read_site_weights).ravel()
+        write_p = np.outer(write_items, self.write_site_weights).ravel()
+        return mean_alpha, read_p, write_p
+
+    def sample_epoch(
+        self, duration: float, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled ``(reads, writes)`` counts, shape ``(n_items, n_sites)``."""
+        if duration < 0:
+            raise SimulationError(f"epoch duration must be >= 0, got {duration}")
+        total = int(rng.poisson(self.aggregate_rate * duration))
+        shape = (self.n_items, self.n_sites)
+        if total == 0:
+            # Same short-circuit as AccessWorkload: no thinning draws are
+            # consumed for an empty epoch, keeping the N=1 stream aligned.
+            zero = np.zeros(shape, dtype=np.int64)
+            return zero, zero.copy()
+        mean_alpha, read_p, write_p = self._joint_weights()
+        n_reads = int(rng.binomial(total, mean_alpha))
+        n_writes = total - n_reads
+        reads = rng.multinomial(n_reads, read_p).astype(np.int64).reshape(shape)
+        writes = rng.multinomial(n_writes, write_p).astype(np.int64).reshape(shape)
+        return reads, writes
+
+    def expected_epoch(self, duration: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Expected counts over the ``(item, site)`` grid (no sampling)."""
+        if duration < 0:
+            raise SimulationError(f"epoch duration must be >= 0, got {duration}")
+        total = self.aggregate_rate * duration
+        mean_alpha, read_p, write_p = self._joint_weights()
+        shape = (self.n_items, self.n_sites)
+        reads = (total * mean_alpha) * read_p.reshape(shape)
+        writes = (total * (1.0 - mean_alpha)) * write_p.reshape(shape)
+        return reads, writes

@@ -61,6 +61,7 @@ ENGINE_PAIRS = tuple(
     "simulation|parallel",
     "simulation|audit",
     "static|reassignment",
+    "sharded|multidb-reference",
 )
 
 
@@ -247,6 +248,82 @@ def _protocol_checks(case: VerificationCase) -> List[CheckResult]:
     ]
 
 
+def _sharded_checks(case: VerificationCase) -> List[CheckResult]:
+    """Vectorized N-item engine vs the per-item multidb reference.
+
+    Builds a three-item Zipf shard config on the case's network and
+    failure process and demands *bitwise* agreement (``abs_floor=0``) on
+    per-item access counts, survivability times, and the density tables
+    — the sharded engine's core contract, checked here on every
+    simulation-backed case rather than only in the unit battery.
+    """
+    if case.sim_read_quorum is None:
+        return []
+    import numpy as np
+
+    from repro.sharding import ItemWorkload, ShardConfig
+
+    sim = case.simulation_config()
+    alphas = np.clip(
+        [case.alpha - 0.25, case.alpha, case.alpha + 0.25], 0.0, 1.0
+    )
+    workload = ItemWorkload.zipf(3, sim.topology.n_sites, alphas, exponent=1.0)
+    config = ShardConfig.from_simulation(
+        sim,
+        workload,
+        read_quorums=np.full(3, case.sim_read_quorum, dtype=np.int64),
+        warmup_accesses=0.0,
+        accesses_per_batch=1_500.0,
+        n_batches=2,
+    )
+    vec_spec = get_engine("sharded", kind=KIND_SIMULATION)
+    ref_spec = get_engine("sharded-reference", kind=KIND_SIMULATION)
+    vec = vec_spec.build(config)
+    ref = ref_spec.build(config)
+
+    pair = "sharded|multidb-reference"
+    detail = "bitwise contract: one shared labelling vs the per-item loop"
+    results: List[CheckResult] = []
+    for item in range(config.n_items):
+        results.append(
+            compare(
+                pair, case.name, f"item-ACC[{item}]",
+                Estimate(float(vec.item_availability[item]), source="sharded"),
+                Estimate(float(ref.item_availability[item]),
+                         source="multidb-reference"),
+                abs_floor=0.0, detail=detail,
+            )
+        )
+    results.append(
+        compare(
+            pair, case.name, "SURV(read)",
+            Estimate(float(vec.surv_read.sum()), source="sharded"),
+            Estimate(float(ref.surv_read.sum()), source="multidb-reference"),
+            abs_floor=0.0, detail=detail,
+        )
+    )
+    results.append(
+        compare(
+            pair, case.name, "SURV(write)",
+            Estimate(float(vec.surv_write.sum()), source="sharded"),
+            Estimate(float(ref.surv_write.sum()), source="multidb-reference"),
+            abs_floor=0.0, detail=detail,
+        )
+    )
+    results.append(
+        compare(
+            pair, case.name, "density max|diff|",
+            Estimate(
+                float(np.abs(vec.density_time() - ref.density_time()).max()),
+                source="sharded",
+            ),
+            Estimate(0.0, source="multidb-reference"),
+            abs_floor=0.0, detail=detail,
+        )
+    )
+    return results
+
+
 def run_case(case: VerificationCase, bug: Optional[str] = None) -> List[CheckResult]:
     """Every applicable check on one case (pairs + relations)."""
     telemetry = _current_telemetry()
@@ -254,6 +331,7 @@ def run_case(case: VerificationCase, bug: Optional[str] = None) -> List[CheckRes
         results = _model_pair_checks(case, bug)
         results.extend(_simulation_checks(case, bug))
         results.extend(_protocol_checks(case))
+        results.extend(_sharded_checks(case))
         results.extend(run_metamorphic(case, bug))
     return results
 

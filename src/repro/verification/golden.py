@@ -229,6 +229,87 @@ def _serving_entry() -> dict:
     }
 
 
+#: Parameters of the locked sharded-optimizer entries: one exact
+#: (enumeration-density) small-N plan and one seeded Monte-Carlo plan at
+#: 10^4 items (8 alpha classes tiled — the grouping makes the item count
+#: nearly free, which is exactly the behaviour being locked).
+_SHARD_EXACT_ALPHAS = (0.2, 0.5, 0.8, 0.5)
+_SHARD_MC_CLASSES = (0.05, 0.2, 0.35, 0.5, 0.6, 0.75, 0.9, 1.0)
+_SHARD_MC_ITEMS = 10_000
+_SHARD_MC_SAMPLES = 2_000
+_SHARD_SEED = 0
+
+
+def _shard_plan_metrics(plan) -> Dict[str, float]:
+    metrics: Dict[str, float] = {
+        "classes": float(plan.optimizations_run),
+        "items": float(plan.n_items),
+    }
+    for group, best in zip(plan.groups, plan.group_results):
+        metrics[f"q*(alpha={group.alpha:g})"] = float(best.read_quorum)
+        metrics[f"A*(alpha={group.alpha:g})"] = float(best.availability)
+    return metrics
+
+
+def _sharded_entries() -> List[dict]:
+    from repro.sharding.optimizer import optimize_shards
+    from repro.topology.generators import ring
+
+    entries: List[dict] = []
+
+    # Exact enumeration oracle on a small ring; includes a duplicate
+    # alpha class so the locked values also pin the grouping behaviour.
+    plan = optimize_shards(
+        ring(5), np.asarray(_SHARD_EXACT_ALPHAS), 0.9, 0.85,
+        engine="enumeration",
+    )
+    entries.append(
+        {
+            "name": "shard-ring-5-enumeration",
+            "kind": "sharded",
+            "tolerance": 1e-9,
+            "params": {
+                "family": "ring",
+                "n_sites": 5,
+                "p": 0.9,
+                "r": 0.85,
+                "alphas": list(_SHARD_EXACT_ALPHAS),
+            },
+            "metrics": _shard_plan_metrics(plan),
+        }
+    )
+
+    # Seeded Monte-Carlo at scale: 10^4 items, 8 classes, bitwise
+    # reproducible through the substream derivation.
+    alphas = np.tile(np.asarray(_SHARD_MC_CLASSES),
+                     _SHARD_MC_ITEMS // len(_SHARD_MC_CLASSES))
+    plan = optimize_shards(
+        ring(9), alphas, 0.92, 0.88,
+        engine="monte-carlo",
+        n_samples=_SHARD_MC_SAMPLES,
+        seed=_SHARD_SEED,
+    )
+    entries.append(
+        {
+            "name": f"shard-ring-9-mc-seed-{_SHARD_SEED}",
+            "kind": "sharded",
+            "tolerance": 1e-9,
+            "params": {
+                "family": "ring",
+                "n_sites": 9,
+                "p": 0.92,
+                "r": 0.88,
+                "n_items": int(alphas.shape[0]),
+                "alpha_classes": list(_SHARD_MC_CLASSES),
+                "n_samples": _SHARD_MC_SAMPLES,
+                "seed": _SHARD_SEED,
+            },
+            "metrics": _shard_plan_metrics(plan),
+        }
+    )
+    return entries
+
+
 def generate_corpus() -> dict:
     """Recompute every corpus entry from the current code."""
     return {
@@ -238,6 +319,7 @@ def generate_corpus() -> dict:
             _paper_entries()
             + _montecarlo_entries()
             + [_simulation_entry(), _serving_entry()]
+            + _sharded_entries()
         ),
     }
 

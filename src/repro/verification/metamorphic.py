@@ -22,6 +22,12 @@ closed-form engine at a case's parameter point:
   site labels (with heterogeneous per-site reliabilities riding along)
   permutes the enumeration density matrix rows and leaves the optimizer
   output exactly unchanged.
+- **shard-alpha-monotonicity / -permutation-invariance /
+  -class-duplication** — the per-shard optimizer
+  (:mod:`repro.sharding.optimizer`) obeys the grouping algebra: raising
+  an item's read fraction never raises its optimal ``q_r`` (decreasing
+  differences of the paper objective), permuting item ids permutes the
+  plan exactly, and duplicating an item class moves nothing.
 
 Every relation returns :class:`~repro.verification.tolerance.CheckResult`
 rows where ``value_a`` is the worst observed violation and the tolerance
@@ -294,12 +300,144 @@ def _relabeling(case: VerificationCase, bug: Optional[str]) -> List[CheckResult]
     ]
 
 
+# ----------------------------------------------------------------------
+# Sharded-optimizer relations (the per-class grouping of repro.sharding)
+# ----------------------------------------------------------------------
+
+def _shard_plan(case: VerificationCase, alphas: np.ndarray, bug: Optional[str]):
+    """Per-shard optimization on the case's closed-form density.
+
+    The density row short-circuits the per-group density computation, so
+    these relations are deterministic, cheap (microseconds), and carry
+    the injected bug through ``model_transform`` exactly like the
+    single-item relations above.
+    """
+    from repro.sharding.optimizer import optimize_shards
+
+    row = closed_form_density(case.family, case.n_sites, case.p, case.r)
+    plan = optimize_shards(
+        case.topology(),
+        alphas,
+        density=row,
+        model_transform=lambda m: inject_bug_model(m, bug),
+    )
+    return plan, inject_bug_model(AvailabilityModel(row, row), bug)
+
+
+def _shard_alpha_monotonicity(
+    case: VerificationCase, bug: Optional[str]
+) -> List[CheckResult]:
+    """Raising an item's read fraction never raises its optimal ``q_r``.
+
+    ``A(alpha, q) = alpha R(q) + (1-alpha) W(T-q+1)`` has decreasing
+    differences in ``(q, alpha)`` — ``R`` falls and ``W(T-q+1)`` rises
+    with ``q`` — so the argmax moves weakly toward smaller read quorums
+    as ``alpha`` grows. Exact float ties may still flip the integer
+    argmax, so the violation is measured in availability units: how much
+    the model claims a *larger* quorum strictly beats the hotter item's
+    smaller one (zero up to round-off on healthy code).
+    """
+    alphas = np.unique(np.clip([0.05, 0.25, case.alpha, 0.75, 0.95], 0.0, 1.0))
+    plan, model = _shard_plan(case, alphas, bug)
+    q = plan.read_quorums
+    worst = 0.0
+    worst_at = "optimized q_r non-increasing over sorted item alphas"
+    for i in range(len(alphas) - 1):
+        if q[i + 1] > q[i]:
+            gain = float(
+                np.asarray(model.availability(float(alphas[i + 1]), int(q[i + 1])))
+                - np.asarray(model.availability(float(alphas[i + 1]), int(q[i])))
+            )
+            if gain > worst:
+                worst = gain
+                worst_at = (
+                    f"q_r rose {int(q[i])}->{int(q[i + 1])} as alpha rose "
+                    f"{alphas[i]:g}->{alphas[i + 1]:g}"
+                )
+    return [
+        _violation_result(
+            "shard-alpha-monotonicity",
+            case.name,
+            "objective gain from a q_r increase under rising alpha",
+            worst,
+            detail=worst_at,
+        )
+    ]
+
+
+def _shard_permutation(
+    case: VerificationCase, bug: Optional[str]
+) -> List[CheckResult]:
+    """Permuting item ids permutes the per-shard optimization results.
+
+    All groups share one seed (common random numbers), so the plan for a
+    shuffled item vector must be exactly the shuffled plan — quorums and
+    availabilities alike.
+    """
+    alphas = np.clip(np.asarray([0.2, 0.5, 0.8, case.alpha, 0.5]), 0.0, 1.0)
+    rng = np.random.default_rng(case.seed + 23)
+    perm = rng.permutation(alphas.shape[0])
+    plan, _ = _shard_plan(case, alphas, bug)
+    plan_perm, _ = _shard_plan(case, alphas[perm], bug)
+    gap = max(
+        float(np.abs(plan_perm.read_quorums - plan.read_quorums[perm]).max()),
+        float(
+            np.abs(plan_perm.availabilities - plan.availabilities[perm]).max()
+        ),
+    )
+    return [
+        _violation_result(
+            "shard-permutation-invariance",
+            case.name,
+            "max per-item assignment gap under id permutation",
+            gap,
+            detail=f"{alphas.shape[0]} items shuffled with seed {case.seed + 23}",
+        )
+    ]
+
+
+def _shard_duplication(
+    case: VerificationCase, bug: Optional[str]
+) -> List[CheckResult]:
+    """Duplicating an item class changes no per-class assignment.
+
+    The optimizer runs once per ``(alpha, votes)`` class; adding more
+    members to an existing class must neither re-run anything nor move
+    any item's ``(q_r*, A*)``.
+    """
+    alphas = np.clip(np.asarray([0.2, 0.5, 0.8, case.alpha]), 0.0, 1.0)
+    n = alphas.shape[0]
+    extended = np.concatenate([alphas, [alphas[1], alphas[3]]])
+    base, _ = _shard_plan(case, alphas, bug)
+    ext, _ = _shard_plan(case, extended, bug)
+    gap = max(
+        float(np.abs(ext.read_quorums[:n] - base.read_quorums).max()),
+        float(np.abs(ext.availabilities[:n] - base.availabilities).max()),
+        float(ext.read_quorums[n] != ext.read_quorums[1]),
+        float(ext.read_quorums[n + 1] != ext.read_quorums[3]),
+        float(ext.optimizations_run != base.optimizations_run),
+    )
+    return [
+        _violation_result(
+            "shard-class-duplication",
+            case.name,
+            "max assignment gap after duplicating item classes",
+            gap,
+            detail=f"{base.optimizations_run} classes before and after "
+            f"duplication ({ext.optimizations_run} after)",
+        )
+    ]
+
+
 _RELATIONS: Dict[str, Callable[[VerificationCase, Optional[str]], List[CheckResult]]] = {
     "reliability-monotonicity-sites": lambda c, b: _monotonicity(c, b, "sites"),
     "reliability-monotonicity-links": lambda c, b: _monotonicity(c, b, "links"),
     "alpha-symmetry": _alpha_symmetry,
     "alpha-extremes": _alpha_extremes,
     "relabeling-invariance": _relabeling,
+    "shard-alpha-monotonicity": _shard_alpha_monotonicity,
+    "shard-permutation-invariance": _shard_permutation,
+    "shard-class-duplication": _shard_duplication,
 }
 
 METAMORPHIC_RELATIONS: Tuple[str, ...] = tuple(_RELATIONS)

@@ -23,6 +23,8 @@ BUILTINS = {
     "mc-importance": KIND_MODEL,
     "simulation": KIND_SIMULATION,
     "parallel": KIND_SIMULATION,
+    "sharded": KIND_SIMULATION,
+    "sharded-reference": KIND_SIMULATION,
     "online-density": KIND_DENSITY_MODEL,
 }
 

@@ -1,0 +1,182 @@
+"""ShardConfig validation, derived quantities, and config borrowing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardingError
+from repro.sharding import ItemWorkload, ShardConfig
+from repro.simulation.config import SimulationConfig
+from repro.simulation.workload import AccessWorkload
+from repro.topology.generators import ring
+
+
+def _workload(n_items=3, n_sites=5):
+    return ItemWorkload.uniform(n_items, n_sites, 0.5)
+
+
+class TestValidation:
+    def test_site_count_mismatch_rejected(self):
+        with pytest.raises(ShardingError, match="topology has"):
+            ShardConfig(topology=ring(5), workload=_workload(n_sites=4))
+
+    def test_votes_shape_checked(self):
+        with pytest.raises(ShardingError, match="votes must have shape"):
+            ShardConfig(
+                topology=ring(5),
+                workload=_workload(),
+                votes=np.ones((2, 5), dtype=np.int64),
+            )
+
+    def test_negative_votes_rejected(self):
+        votes = np.ones((3, 5), dtype=np.int64)
+        votes[1, 2] = -1
+        with pytest.raises(ShardingError, match="non-negative"):
+            ShardConfig(topology=ring(5), workload=_workload(), votes=votes)
+
+    def test_zero_vote_item_rejected(self):
+        votes = np.ones((3, 5), dtype=np.int64)
+        votes[2] = 0
+        with pytest.raises(ShardingError, match="item 2 has no votes"):
+            ShardConfig(topology=ring(5), workload=_workload(), votes=votes)
+
+    def test_read_quorum_out_of_range_rejected(self):
+        with pytest.raises(ShardingError, match="outside"):
+            ShardConfig(
+                topology=ring(5),
+                workload=_workload(),
+                read_quorums=np.asarray([2, 6, 3]),
+            )
+
+    def test_read_quorums_shape_checked(self):
+        with pytest.raises(ShardingError, match="read_quorums must have shape"):
+            ShardConfig(
+                topology=ring(5),
+                workload=_workload(),
+                read_quorums=np.asarray([2, 3]),
+            )
+
+    def test_scalar_read_quorum_broadcasts(self):
+        config = ShardConfig(
+            topology=ring(5), workload=_workload(), read_quorums=np.int64(3)
+        )
+        assert (config.read_quorums == 3).all()
+
+    def test_bad_initial_state_rejected(self):
+        with pytest.raises(ShardingError, match="initial_state"):
+            ShardConfig(
+                topology=ring(5), workload=_workload(), initial_state="warm"
+            )
+
+    def test_nonpositive_batches_rejected(self):
+        with pytest.raises(ShardingError, match="n_batches"):
+            ShardConfig(topology=ring(5), workload=_workload(), n_batches=0)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ShardingError, match="warmup_accesses"):
+            ShardConfig(
+                topology=ring(5), workload=_workload(), warmup_accesses=-1.0
+            )
+
+    def test_mttf_vector_length_checked(self):
+        topology = ring(5)  # 5 sites + 5 links = 10 components
+        with pytest.raises(ShardingError, match="n_sites \\+ n_links"):
+            ShardConfig(
+                topology=topology,
+                workload=_workload(),
+                mean_time_to_failure=np.ones(4),
+            )
+
+    def test_nonpositive_mttr_rejected(self):
+        with pytest.raises(ShardingError, match="mean_time_to_repair"):
+            ShardConfig(
+                topology=ring(5), workload=_workload(), mean_time_to_repair=0.0
+            )
+
+
+class TestDefaultsAndProperties:
+    def test_default_votes_broadcast_topology_assignment(self):
+        config = ShardConfig(topology=ring(5), workload=_workload())
+        assert config.votes.shape == (3, 5)
+        assert (config.votes == np.asarray(ring(5).votes)).all()
+
+    def test_default_read_quorums_are_write_favouring_majorities(self):
+        config = ShardConfig(topology=ring(5), workload=_workload())
+        totals = config.total_votes
+        assert (config.read_quorums == np.maximum(totals // 2, 1)).all()
+
+    def test_write_quorums_follow_paper_coupling(self):
+        config = ShardConfig(
+            topology=ring(5),
+            workload=_workload(),
+            read_quorums=np.asarray([1, 3, 5]),
+        )
+        assert (
+            config.write_quorums
+            == config.total_votes - config.read_quorums + 1
+        ).all()
+
+    def test_max_total_votes_tracks_heaviest_item(self):
+        votes = np.ones((3, 5), dtype=np.int64)
+        votes[1] = [2, 2, 2, 2, 1]
+        config = ShardConfig(topology=ring(5), workload=_workload(), votes=votes)
+        assert config.max_total_votes == 9
+
+    def test_timebase_derived_from_aggregate_rate(self):
+        config = ShardConfig(
+            topology=ring(5),
+            workload=_workload(),
+            warmup_accesses=100.0,
+            accesses_per_batch=400.0,
+        )
+        rate = config.workload.aggregate_rate
+        assert config.warmup_time == pytest.approx(100.0 / rate)
+        assert config.batch_time == pytest.approx(400.0 / rate)
+
+    def test_with_helpers_replace_fields(self):
+        config = ShardConfig(topology=ring(5), workload=_workload())
+        assert config.with_seed(9).seed == 9
+        requorumed = config.with_read_quorums([1, 2, 3])
+        assert requorumed.read_quorums.tolist() == [1, 2, 3]
+
+
+class TestFromSimulation:
+    def test_borrows_network_and_failure_knobs(self):
+        topology = ring(7)
+        sim = SimulationConfig(
+            topology=topology,
+            workload=AccessWorkload.uniform(topology.n_sites, 0.5),
+            mean_time_to_failure=42.0,
+            mean_time_to_repair=6.0,
+            warmup_accesses=123.0,
+            accesses_per_batch=456.0,
+            n_batches=4,
+            initial_state="all_up",
+            seed=17,
+        )
+        config = ShardConfig.from_simulation(
+            sim, ItemWorkload.uniform(2, topology.n_sites, 0.5)
+        )
+        assert config.topology is topology
+        assert config.mean_time_to_failure == 42.0
+        assert config.mean_time_to_repair == 6.0
+        assert config.warmup_accesses == 123.0
+        assert config.accesses_per_batch == 456.0
+        assert config.n_batches == 4
+        assert config.initial_state == "all_up"
+        assert config.seed == 17
+
+    def test_overrides_win(self):
+        topology = ring(5)
+        sim = SimulationConfig(
+            topology=topology,
+            workload=AccessWorkload.uniform(topology.n_sites, 0.5),
+            n_batches=4,
+        )
+        config = ShardConfig.from_simulation(
+            sim,
+            ItemWorkload.uniform(2, topology.n_sites, 0.5),
+            read_quorums=[2, 3],
+            n_batches=2,
+        )
+        assert config.n_batches == 2
+        assert config.read_quorums.tolist() == [2, 3]

@@ -1,0 +1,145 @@
+"""Differential battery: the vectorized engine vs the multidb reference.
+
+The sharded engine's contract is *bitwise* equality with the retained
+per-item ``multidb`` loop — same counters, same survivability times,
+same density tables — for every topology family, every item count, and
+every chunk size. These tests sweep that grid; ``repro verify`` runs the
+registered ``sharded|multidb-reference`` pair on the quick profile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sharding import ItemWorkload, ShardConfig, run_sharded
+from repro.topology.generators import bus, fully_connected, ring
+
+FAMILIES = {
+    "ring": lambda: ring(7),
+    "complete": lambda: fully_connected(5),
+    "bus": lambda: bus(7),
+}
+
+
+def _config(topology, n_items, seed=11, **overrides):
+    alphas = np.linspace(0.15, 0.9, n_items)
+    workload = ItemWorkload.zipf(
+        n_items, topology.n_sites, alphas, exponent=1.0
+    )
+    fields = dict(
+        topology=topology,
+        workload=workload,
+        mean_time_to_failure=30.0,
+        mean_time_to_repair=5.0,
+        warmup_accesses=100.0,
+        accesses_per_batch=1_500.0,
+        n_batches=2,
+        seed=seed,
+    )
+    fields.update(overrides)
+    return ShardConfig(**fields)
+
+
+class TestBitwiseAgainstReference:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("n_items", [1, 3])
+    def test_small_item_counts(self, family, n_items):
+        config = _config(FAMILIES[family](), n_items)
+        vec = run_sharded(config, engine="vectorized")
+        ref = run_sharded(config, engine="reference")
+        assert vec.bitwise_equal(ref)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_sixty_four_items(self, family):
+        config = _config(FAMILIES[family](), 64,
+                         accesses_per_batch=800.0, n_batches=2)
+        vec = run_sharded(config, engine="vectorized")
+        ref = run_sharded(config, engine="reference")
+        assert vec.bitwise_equal(ref)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 64, None])
+    def test_every_chunk_size_is_bitwise_identical(self, chunk_size):
+        config = _config(ring(7), 5)
+        base = run_sharded(config, engine="vectorized")
+        chunked = run_sharded(config, engine="vectorized",
+                              chunk_size=chunk_size)
+        assert chunked.bitwise_equal(base)
+
+    def test_heterogeneous_votes_and_quorums(self):
+        topology = ring(6)
+        n_items = 4
+        rng = np.random.default_rng(5)
+        votes = rng.integers(0, 3, size=(n_items, 6))
+        votes[:, 0] = np.maximum(votes[:, 0], 1)  # positive row totals
+        totals = votes.sum(axis=1)
+        quorums = np.maximum(totals // 2, 1)
+        config = _config(topology, n_items, votes=votes, read_quorums=quorums)
+        vec = run_sharded(config, engine="vectorized")
+        ref = run_sharded(config, engine="reference")
+        assert vec.bitwise_equal(ref)
+
+    def test_density_tables_account_all_measured_time(self):
+        config = _config(ring(7), 3)
+        result = run_sharded(config, engine="vectorized")
+        # Each epoch adds duration once per (item, site) cell, so every
+        # item's histogram row sums to n_sites * measured_time.
+        row_sums = result.density_time().sum(axis=1)
+        expected = config.topology.n_sites * result.measured_time
+        assert row_sums == pytest.approx(
+            np.full(config.n_items, expected), rel=1e-9
+        )
+
+
+class TestSingleItemParity:
+    """An N=1 sharded run is bitwise the single-item simulation."""
+
+    @pytest.mark.parametrize("family,read_quorum,alpha", [
+        ("ring", 2, 0.6),
+        ("complete", 2, 0.4),
+        ("bus", 3, 0.35),
+    ])
+    def test_counters_match_single_item_engine(self, family, read_quorum, alpha):
+        from repro.protocols.quorum_consensus import QuorumConsensusProtocol
+        from repro.quorum.assignment import QuorumAssignment
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.workload import AccessWorkload
+
+        topology = FAMILIES[family]()
+        sim = SimulationConfig(
+            topology=topology,
+            workload=AccessWorkload.uniform(topology.n_sites, alpha),
+            mean_time_to_failure=30.0,
+            mean_time_to_repair=5.0,
+            warmup_accesses=100.0,
+            accesses_per_batch=2_000.0,
+            n_batches=2,
+            initial_state="stationary",
+            seed=5,
+        )
+        protocol = QuorumConsensusProtocol(
+            QuorumAssignment.from_read_quorum(
+                topology.total_votes, read_quorum
+            )
+        )
+        single = SimulationEngine(sim, protocol)
+        sharded_config = ShardConfig.from_simulation(
+            sim,
+            ItemWorkload.uniform(1, topology.n_sites, alpha),
+            read_quorums=[read_quorum],
+        )
+        from repro.sharding import ShardedEngine
+
+        sharded = ShardedEngine(sharded_config)
+        for batch_index in range(sim.n_batches):
+            a = single.run_batch(batch_index)
+            s = sharded.run_batch(batch_index)
+            assert float(a.reads_submitted) == float(s.reads_submitted[0])
+            assert float(a.reads_granted) == float(s.reads_granted[0])
+            assert float(a.writes_submitted) == float(s.writes_submitted[0])
+            assert float(a.writes_granted) == float(s.writes_granted[0])
+            assert a.n_epochs == s.n_epochs
+            assert a.n_events == s.n_events
+            assert a.measured_time == s.measured_time
+            assert a.surv_read == s.surv_read_time[0] / s.measured_time
+            assert a.surv_write == s.surv_write_time[0] / s.measured_time

@@ -1,0 +1,124 @@
+"""Fan-out determinism: workers, transports, and the shm slot layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardingError
+from repro.sharding import (
+    ItemWorkload,
+    ShardConfig,
+    ShardSlotLayout,
+    ShardedEngine,
+    run_sharded,
+)
+from repro.topology.generators import ring
+
+
+def _config(n_items=3, n_batches=3, seed=7):
+    topology = ring(5)
+    workload = ItemWorkload.zipf(
+        n_items, topology.n_sites,
+        np.linspace(0.2, 0.8, n_items), exponent=1.0,
+    )
+    return ShardConfig(
+        topology=topology,
+        workload=workload,
+        mean_time_to_failure=30.0,
+        mean_time_to_repair=5.0,
+        warmup_accesses=50.0,
+        accesses_per_batch=600.0,
+        n_batches=n_batches,
+        seed=seed,
+    )
+
+
+class TestWorkerInvariance:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_workers_bitwise_match_serial(self, n_workers):
+        config = _config()
+        serial = run_sharded(config, engine="vectorized")
+        fanned = run_sharded(config, engine="vectorized", n_workers=n_workers)
+        assert fanned.bitwise_equal(serial)
+
+    @pytest.mark.slow
+    def test_shm_and_pickle_transports_bitwise_match(self):
+        config = _config()
+        serial_stats, shm_stats, pickle_stats = {}, {}, {}
+        serial = run_sharded(config, transport_stats=serial_stats)
+        shm = run_sharded(config, n_workers=2, transport="shm",
+                          transport_stats=shm_stats)
+        pickled = run_sharded(config, n_workers=2, transport="pickle",
+                              transport_stats=pickle_stats)
+        assert shm.bitwise_equal(serial)
+        assert pickled.bitwise_equal(serial)
+
+        assert serial_stats["transport"] == "serial"
+        assert serial_stats["pickled_bytes"] == 0
+        assert pickle_stats["transport"] == "pickle"
+        assert pickle_stats["slot_bytes"] == 0
+        # shm may degrade to pickle where /dev/shm is unavailable, but
+        # when it holds, the pipe carries only (index, None, slot) stubs.
+        if shm_stats["transport"] == "shm":
+            assert shm_stats["slot_bytes"] > 0
+            assert shm_stats["pickled_bytes"] < shm_stats["slot_bytes"]
+            assert shm_stats["pickled_bytes"] < pickle_stats["pickled_bytes"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ShardingError, match="unknown sharded engine"):
+            run_sharded(_config(), engine="telepathy")
+
+
+class TestSlotLayout:
+    def test_pack_unpack_roundtrip_is_bitwise(self):
+        config = _config(n_items=4, n_batches=1)
+        batch = ShardedEngine(config).run_batch(0)
+        layout = ShardSlotLayout(config.n_items, config.max_total_votes + 1)
+        view = np.zeros(layout.slot_floats, dtype=np.float64)
+        layout.pack(view, batch)
+        rebuilt = layout.unpack(view, batch.batch_index)
+        assert rebuilt.bitwise_equal(batch)
+        assert rebuilt.reads_submitted.dtype == np.int64
+        assert rebuilt.writes_granted.dtype == np.int64
+
+    def test_slot_geometry(self):
+        layout = ShardSlotLayout(n_items=10, width=6)
+        assert layout.density_floats == 60
+        assert layout.slot_floats == 3 + 6 * 10 + 2 * 60
+        assert layout.slot_bytes == layout.slot_floats * 8
+
+
+class TestRunResult:
+    def test_pooled_counters_sum_batches(self):
+        config = _config(n_batches=2)
+        result = run_sharded(config)
+        for name in ("reads_submitted", "reads_granted",
+                     "writes_submitted", "writes_granted"):
+            pooled = getattr(result, name)
+            summed = sum(getattr(b, name) for b in result.batches)
+            assert (pooled == summed).all()
+            assert pooled.dtype == np.int64
+        assert result.measured_time == pytest.approx(
+            sum(b.measured_time for b in result.batches)
+        )
+
+    def test_item_availability_is_one_for_idle_items(self):
+        # A hotspot workload with ~all mass on item 0 can leave the cold
+        # tail idle in a short run; idle items report availability 1.0.
+        topology = ring(4)
+        workload = ItemWorkload.hotspot(
+            3, topology.n_sites, 0.5, hot_items=[0], hot_fraction=0.999
+        )
+        config = ShardConfig(
+            topology=topology,
+            workload=workload,
+            warmup_accesses=0.0,
+            accesses_per_batch=5.0,
+            n_batches=1,
+            seed=2,
+        )
+        result = run_sharded(config)
+        submitted = result.reads_submitted + result.writes_submitted
+        avail = result.item_availability
+        assert (avail[submitted == 0] == 1.0).all()
+        assert ((avail >= 0.0) & (avail <= 1.0)).all()

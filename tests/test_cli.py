@@ -365,7 +365,7 @@ class TestVerify:
         code, out, _ = run_cli(capsys, "verify", "--profile", "quick")
         assert code == 0
         assert "0 failed" in out
-        assert "engine pairs (14)" in out
+        assert "engine pairs (15)" in out
 
     @pytest.mark.slow
     def test_real_injected_off_by_one_exits_one(self, capsys):
@@ -384,10 +384,11 @@ class TestEngines:
     def test_lists_all_builtin_engines(self, capsys):
         code, out, _ = run_cli(capsys, "engines")
         assert code == 0
-        assert "registered engines (8)" in out
+        assert "registered engines (10)" in out
         for name in ("closed-form", "enumeration", "monte-carlo",
                      "mc-stratified", "mc-importance", "simulation",
-                     "parallel", "online-density"):
+                     "parallel", "sharded", "sharded-reference",
+                     "online-density"):
             assert name in out
 
     def test_kind_filter(self, capsys):
@@ -470,6 +471,68 @@ class TestProfile:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "frobnicate"])
+
+
+class TestShard:
+    def test_basic_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shard", "--family", "ring", "--sites", "7",
+            "--items", "12", "--alpha-classes", "0.3", "0.6", "0.9",
+            "--accesses", "2000", "--warmup", "200", "--batches", "2",
+        )
+        assert code == 0
+        assert "sharded run" in out
+        assert "12 items" in out
+        assert "availability" in out
+        assert "item ACC" in out
+        assert "SURV" in out
+
+    def test_optimize_reports_per_class_assignments(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "shard", "--family", "ring", "--sites", "7",
+            "--items", "9", "--alpha-classes", "0.3", "0.6", "0.9",
+            "--optimize", "--accesses", "1000", "--warmup", "100",
+            "--batches", "2",
+        )
+        assert code == 0
+        assert "3 per-class runs for 9 items" in out
+        assert "class alpha=0.3" in out
+        assert "class alpha=0.9" in out
+        assert "q_r=" in out
+
+    def test_reference_engine_matches_vectorized(self, capsys):
+        argv = (
+            "shard", "--family", "complete", "--sites", "4", "--items", "3",
+            "--accesses", "800", "--warmup", "0", "--batches", "1",
+        )
+        code_v, out_v, _ = run_cli(capsys, *argv, "--engine", "vectorized")
+        code_r, out_r, _ = run_cli(capsys, *argv, "--engine", "reference")
+        assert code_v == code_r == 0
+        # Identical accounting: every stat line after the header matches.
+        tail = lambda text: text.splitlines()[1:]
+        assert tail(out_v) == tail(out_r)
+
+    def test_bad_item_count_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "shard", "--family", "ring", "--items", "0",
+        )
+        assert code == 2
+        assert "error:" in err
+        assert "--items must be >= 1" in err
+
+    def test_bad_exponent_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "shard", "--family", "ring", "--items", "4",
+            "--exponent", "-2",
+        )
+        assert code == 2
+        assert "error:" in err
+        assert "exponent" in err
+
+    def test_missing_family_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["shard", "--items", "5"])
+        assert excinfo.value.code == 2
 
 
 class TestParser:

@@ -48,8 +48,13 @@ class TestLockedCorpus:
     def test_covers_paper_figures_and_both_engines(self):
         corpus = load_corpus()
         kinds = {e["kind"] for e in corpus["entries"]}
-        assert kinds == {"closed-form", "monte-carlo", "simulation", "serving"}
+        assert kinds == {
+            "closed-form", "monte-carlo", "simulation", "serving", "sharded",
+        }
         names = {e["name"] for e in corpus["entries"]}
+        # Sharded entries: one exact-enumeration plan, one seeded MC plan.
+        assert "shard-ring-5-enumeration" in names
+        assert "shard-ring-9-mc-seed-0" in names
         # Paper-parameter entries for every family at every paper alpha.
         for family in ("ring", "complete", "bus"):
             for alpha in ("0", "0.25", "0.5", "0.75", "1"):
