@@ -110,13 +110,18 @@ def enumeration_key(
     site_rel,
     link_rel,
     site: Optional[int] = None,
+    numerics: str = "exact-order",
 ) -> Tuple:
     """Key for the enumeration oracle: full topology content + rels + row.
 
     The digest covers the link list and the vote vector (both part of the
     density), the quantized per-component reliability vectors, and which
     row — full matrix (``site is None``) or a single site — was asked
-    for.
+    for. ``numerics`` names the floating-point accumulation class of the
+    producing backend (``"exact-order"`` for the bitwise
+    reference/compiled kernels, ``"regrouped"`` for the vectorized
+    collapse-DFS): entries whose bits may legitimately differ never
+    share a slot, so a bitwise caller cannot receive a regrouped result.
     """
     digest = hashlib.sha256()
     digest.update(np.int64(topology.n_sites).tobytes())
@@ -126,7 +131,12 @@ def enumeration_key(
     digest.update(np.asarray(topology.votes, dtype=np.int64).tobytes())
     digest.update(_quantized(site_rel, topology.n_sites).tobytes())
     digest.update(_quantized(link_rel, topology.n_links).tobytes())
-    return ("enumeration", digest.hexdigest(), -1 if site is None else int(site))
+    return (
+        "enumeration",
+        digest.hexdigest(),
+        -1 if site is None else int(site),
+        str(numerics),
+    )
 
 
 @dataclass

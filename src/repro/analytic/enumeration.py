@@ -13,10 +13,12 @@ Component reliabilities may be uniform (scalars ``p``, ``r``) or per
 component (arrays), which is how the star-with-perfect-spokes encoding of
 the bus network is enumerated exactly.
 
-Two implementations compute the same matrix (DESIGN.md §10):
+Four backends compute the same matrix (DESIGN.md §10 and §15), selected
+with the ``backend=`` kwarg or the ``REPRO_ENUM_BACKEND`` environment
+variable (``auto`` | ``compiled`` | ``vectorized`` | ``reference``):
 
-``enumerate_density_matrix``
-    the vectorized kernel — generates up/down states in chunks of
+``reference`` (kernel)
+    the chunked scipy kernel — generates up/down states in chunks of
     bit-unpacked numpy masks, computes state probabilities as column-wise
     product reductions, labels every state of a chunk with one
     block-diagonal ``connected_components`` call
@@ -25,13 +27,33 @@ Two implementations compute the same matrix (DESIGN.md §10):
     Every floating-point operation is sequenced exactly like the
     reference loop, so the output is **bitwise identical** to it.
 
-``enumerate_density_matrix_reference``
-    the retained per-state Python loop — the auditable oracle the kernel
-    equivalence tests compare against.
+``compiled``
+    the numba ``@njit(cache=True)`` union-find chunk kernel
+    (:func:`repro.analytic.compiled.enumerate_compiled`) — same
+    floating-point operation order as the reference loop, therefore also
+    bitwise identical; requires numba (``pip install 'repro[compiled]'``).
+
+``vectorized``
+    the dependency-free subset-doubling DFS with branch collapse
+    (:func:`repro.analytic.compiled.enumerate_vectorized`) — regrouped
+    accumulation, equal to the reference to float round-off (≤1e-12
+    differential tier), two orders of magnitude faster.
+
+``auto`` (the default)
+    ``compiled`` when numba is importable, else ``vectorized``.
+
+The compiled and vectorized backends raise the safety cap from
+:data:`MAX_COMPONENTS` (2^24 states) to :data:`MAX_COMPONENTS_COMPILED`
+(2^28).
+
+``enumerate_density_matrix_reference`` is the retained per-state Python
+loop — the auditable oracle the kernel equivalence tests compare
+against.
 """
 
 from __future__ import annotations
 
+import os
 from itertools import product
 from typing import Optional, Sequence, Union
 
@@ -46,13 +68,28 @@ from repro.errors import DensityError, TopologyError
 from repro.topology.model import Topology
 
 __all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
     "enumerate_density",
     "enumerate_density_matrix",
     "enumerate_density_matrix_reference",
+    "resolve_backend",
 ]
 
-#: Refuse to enumerate beyond this many fallible components (2^24 states).
+#: Refuse to enumerate beyond this many fallible components (2^24
+#: states) on the ``reference`` backend.
 MAX_COMPONENTS = 24
+
+#: The compiled/vectorized backends push the cap to 2^28 states
+#: (chunked and memory-bounded; see DESIGN.md §15 for the bounds).
+MAX_COMPONENTS_COMPILED = 28
+
+#: Selectable enumeration backends (``backend=`` kwarg and the
+#: :data:`ENV_BACKEND` environment variable).
+BACKENDS = ("auto", "compiled", "vectorized", "reference")
+
+#: Environment variable naming the default backend (default ``auto``).
+ENV_BACKEND = "REPRO_ENUM_BACKEND"
 
 #: States unpacked and labelled per kernel chunk. Large enough that the
 #: per-chunk numpy fixed costs amortize, small enough that the chunk's
@@ -73,8 +110,44 @@ def _as_reliability_vector(value: Reliability, count: int, label: str) -> np.nda
     return arr
 
 
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name to ``compiled``/``vectorized``/``reference``.
+
+    ``None`` falls back to the :data:`ENV_BACKEND` environment variable,
+    then ``auto``. ``auto`` picks ``compiled`` when numba is importable
+    and the dependency-free ``vectorized`` kernel otherwise; an explicit
+    ``compiled`` request without numba is an error naming the remedy.
+    """
+    name = backend if backend is not None else os.environ.get(ENV_BACKEND) or "auto"
+    if name not in BACKENDS:
+        raise DensityError(
+            f"unknown enumeration backend {name!r}; choose from "
+            f"{BACKENDS} (backend= kwarg or {ENV_BACKEND})"
+        )
+    if name in ("auto", "compiled"):
+        from repro.analytic import compiled
+
+        if name == "auto":
+            return "compiled" if compiled.jit_available() else "vectorized"
+        if not compiled.jit_available():
+            raise DensityError(
+                "the 'compiled' enumeration backend needs numba "
+                "(pip install 'repro[compiled]'); backend='vectorized' "
+                f"or {ENV_BACKEND}=vectorized selects the dependency-free "
+                "fallback"
+            )
+    return name
+
+
+def _backend_cap(backend: str) -> int:
+    return MAX_COMPONENTS if backend == "reference" else MAX_COMPONENTS_COMPILED
+
+
 def _free_components(
-    topology: Topology, site_rel: np.ndarray, link_rel: np.ndarray
+    topology: Topology,
+    site_rel: np.ndarray,
+    link_rel: np.ndarray,
+    backend: str = "reference",
 ) -> tuple:
     """Indices of fallible sites/links; components pinned at 0/1 are not
     enumerated, so a star with perfectly reliable spokes costs only
@@ -82,10 +155,19 @@ def _free_components(
     free_sites = np.nonzero((site_rel > 0.0) & (site_rel < 1.0))[0]
     free_links = np.nonzero((link_rel > 0.0) & (link_rel < 1.0))[0]
     n_free = free_sites.size + free_links.size
-    if n_free > MAX_COMPONENTS:
+    cap = _backend_cap(backend)
+    if n_free > cap:
+        if backend == "reference" and n_free <= MAX_COMPONENTS_COMPILED:
+            hint = (
+                f"; the 'compiled'/'vectorized' backends raise the cap to "
+                f"{MAX_COMPONENTS_COMPILED} (pass backend='vectorized' or "
+                f"set {ENV_BACKEND}=auto)"
+            )
+        else:
+            hint = "; use montecarlo_density for larger networks"
         raise DensityError(
             f"enumeration over {n_free} fallible components exceeds the "
-            f"{MAX_COMPONENTS}-component safety cap; use montecarlo_density instead"
+            f"{cap}-component safety cap of the {backend!r} backend{hint}"
         )
     return free_sites, free_links, n_free
 
@@ -97,31 +179,72 @@ def enumerate_density_matrix(
     *,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     site: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Exact density matrix ``(n_sites, T+1)`` by full state enumeration.
 
-    Vectorized kernel, bitwise identical to
-    :func:`enumerate_density_matrix_reference` for every ``chunk_size``.
-    With ``site`` given, only that site's row (length ``T+1``) is
-    accumulated and returned — the single-row fast path behind
-    :func:`enumerate_density`.
+    ``backend`` picks the kernel (see the module docstring; ``None``
+    defers to ``REPRO_ENUM_BACKEND``, then ``auto``). The ``reference``
+    and ``compiled`` backends are bitwise identical to
+    :func:`enumerate_density_matrix_reference` for every ``chunk_size``;
+    ``vectorized`` regroups the accumulation and agrees to float
+    round-off (its results are cached under a separate numerics tag so a
+    bitwise caller never receives a regrouped entry). With ``site``
+    given, only that site's row (length ``T+1``) is returned — the
+    single-row fast path behind :func:`enumerate_density`.
     """
     if chunk_size <= 0:
         raise DensityError(f"chunk_size must be positive, got {chunk_size}")
+    resolved = resolve_backend(backend)
     site_rel = _as_reliability_vector(p, topology.n_sites, "site reliability")
     link_rel = _as_reliability_vector(r, topology.n_links, "link reliability")
-    free_sites, free_links, n_free = _free_components(topology, site_rel, link_rel)
+    free_sites, free_links, n_free = _free_components(
+        topology, site_rel, link_rel, backend=resolved
+    )
 
     from repro.analytic import cache as density_cache
 
-    key = density_cache.enumeration_key(topology, site_rel, link_rel, site)
+    numerics = "regrouped" if resolved == "vectorized" else "exact-order"
+    key = density_cache.enumeration_key(
+        topology, site_rel, link_rel, site, numerics=numerics
+    )
     return density_cache.fetch(
         "enumeration",
         key,
-        lambda: _enumeration_kernel(
+        lambda: _dispatch_kernel(
+            resolved, topology, site_rel, link_rel, free_sites, free_links,
+            n_free, chunk_size=chunk_size, site=site,
+        ),
+    )
+
+
+def _dispatch_kernel(
+    backend: str,
+    topology: Topology,
+    site_rel: np.ndarray,
+    link_rel: np.ndarray,
+    free_sites: np.ndarray,
+    free_links: np.ndarray,
+    n_free: int,
+    *,
+    chunk_size: int,
+    site: Optional[int],
+) -> np.ndarray:
+    if backend == "reference":
+        return _enumeration_kernel(
             topology, site_rel, link_rel, free_sites, free_links, n_free,
             chunk_size=chunk_size, site=site,
-        ),
+        )
+    from repro.analytic import compiled
+
+    if backend == "compiled":
+        return compiled.enumerate_compiled(
+            topology, site_rel, link_rel, free_sites, free_links, n_free,
+            chunk_size=chunk_size, site=site,
+        )
+    return compiled.enumerate_vectorized(
+        topology, site_rel, link_rel, free_sites, free_links, n_free,
+        chunk_size=chunk_size, site=site,
     )
 
 
@@ -251,6 +374,7 @@ def enumerate_density(
     site: int,
     p: Reliability,
     r: Reliability,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Exact ``f_site(v)`` for one site (length ``T + 1``).
 
@@ -260,4 +384,4 @@ def enumerate_density(
     """
     if not 0 <= site < topology.n_sites:
         raise TopologyError(f"unknown site {site}")
-    return enumerate_density_matrix(topology, p, r, site=site)
+    return enumerate_density_matrix(topology, p, r, site=site, backend=backend)

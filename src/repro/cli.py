@@ -484,7 +484,8 @@ def _profile_enumeration(args: argparse.Namespace, telemetry) -> None:
     # Bypass the density cache so the kernel (and its phases) actually
     # run; a warm cache would profile a dictionary lookup.
     with density_cache.disabled():
-        enumerate_density_matrix(ring(args.sites or 10), 0.96, 0.96)
+        enumerate_density_matrix(ring(args.sites or 10), 0.96, 0.96,
+                                 backend=args.backend)
 
 
 def _profile_montecarlo(args: argparse.Namespace, telemetry) -> None:
@@ -653,7 +654,8 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     print(f"registered engines ({len(specs)}):")
     for spec in specs:
         caps = ", ".join(sorted(spec.capabilities)) or "-"
-        print(f"  {spec.name:<16} kind={spec.kind:<14} caps=[{caps}]")
+        backend = f" backend={spec.backend}" if spec.backend else ""
+        print(f"  {spec.name:<16} kind={spec.kind:<14}{backend} caps=[{caps}]")
         print(f"    {spec.description}")
         if spec.cost_hint:
             print(f"    cost: {spec.cost_hint}")
@@ -983,6 +985,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--workers", type=int, default=1, metavar="N",
                          help="worker processes for the simulate target; "
                          "the span-tree digest is identical for any N")
+    profile.add_argument("--backend", default=None,
+                         choices=["auto", "compiled", "vectorized",
+                                  "reference"],
+                         help="enumeration backend for the enumeration "
+                         "target (default: REPRO_ENUM_BACKEND, then auto)")
     profile.add_argument("--top", type=int, default=10, metavar="N",
                          help="phases to print in the summary table")
     profile.set_defaults(func=_cmd_profile)

@@ -22,6 +22,7 @@ from repro.engines.adapters import (
     OffByOneModel,
     SimulationEngineRun,
     closed_form_engine,
+    enum_compiled_engine,
     enumeration_engine,
     grant_mask_mismatch,
     importance_mc_engine,
@@ -48,6 +49,7 @@ __all__ = [
     "ModelEngine",
     "SimulationEngineRun",
     "closed_form_engine",
+    "enum_compiled_engine",
     "enumeration_engine",
     "montecarlo_engine",
     "stratified_mc_engine",

@@ -24,7 +24,12 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.analytic import closed_form_density
-from repro.analytic.enumeration import MAX_COMPONENTS, enumerate_density_matrix
+from repro.analytic import compiled as _compiled
+from repro.analytic.enumeration import (
+    MAX_COMPONENTS,
+    MAX_COMPONENTS_COMPILED,
+    enumerate_density_matrix,
+)
 from repro.analytic.montecarlo import montecarlo_density_matrix
 from repro.analytic.variance import (
     importance_density_matrix,
@@ -57,6 +62,7 @@ __all__ = [
     "SimulationEngineRun",
     "closed_form_engine",
     "enumeration_engine",
+    "enum_compiled_engine",
     "montecarlo_engine",
     "stratified_mc_engine",
     "importance_mc_engine",
@@ -132,22 +138,54 @@ def closed_form_engine(case: VerificationCase) -> ModelEngine:
     return ModelEngine("closed-form", AvailabilityModel(row, row))
 
 
+def _case_free_components(case: VerificationCase) -> int:
+    site_rel = case.site_reliabilities()
+    link_rel = case.link_reliabilities()
+    return int(((site_rel > 0) & (site_rel < 1)).sum()
+               + ((link_rel > 0) & (link_rel < 1)).sum())
+
+
 def enumeration_engine(case: VerificationCase) -> Optional[ModelEngine]:
     """Exhaustive state enumeration (exact); ``None`` beyond the cap.
 
-    For the bus family, only the real (voting) sites' rows enter the
-    model — the zero-vote hub submits no accesses.
+    Pins the ``reference`` backend: this engine is the
+    exact-floating-point-order witness the compiled/vectorized backends
+    are differentially compared against, so it must never silently pick
+    up a regrouped kernel. For the bus family, only the real (voting)
+    sites' rows enter the model — the zero-vote hub submits no accesses.
     """
-    topology = case.topology()
-    site_rel = case.site_reliabilities()
-    link_rel = case.link_reliabilities()
-    n_free = int(((site_rel > 0) & (site_rel < 1)).sum()
-                 + ((link_rel > 0) & (link_rel < 1)).sum())
-    if n_free > MAX_COMPONENTS:
+    if _case_free_components(case) > MAX_COMPONENTS:
         return None
-    matrix = enumerate_density_matrix(topology, site_rel, link_rel)
+    matrix = enumerate_density_matrix(
+        case.topology(), case.site_reliabilities(), case.link_reliabilities(),
+        backend="reference",
+    )
     model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
     return ModelEngine("enumeration", model)
+
+
+def _active_compiled_backend() -> str:
+    """The enumeration backend ``enum-compiled`` will actually run."""
+    return "compiled" if _compiled.jit_available() else "vectorized"
+
+
+def enum_compiled_engine(case: VerificationCase) -> Optional[ModelEngine]:
+    """Enumeration through the fast backend (exact); ``None`` past 2^28.
+
+    Resolves to the numba JIT union-find kernel when numba is installed
+    and the dependency-free vectorized collapse-DFS otherwise, exactly
+    like ``backend='auto'``. Crossed against ``enumeration`` in ``repro
+    verify`` at the ≤1e-12 differential tier (bitwise when the JIT
+    kernel is active — it preserves the reference operation order).
+    """
+    if _case_free_components(case) > MAX_COMPONENTS_COMPILED:
+        return None
+    matrix = enumerate_density_matrix(
+        case.topology(), case.site_reliabilities(), case.link_reliabilities(),
+        backend=_active_compiled_backend(),
+    )
+    model = AvailabilityModel.from_density_matrix(matrix[: case.n_sites])
+    return ModelEngine("enum-compiled", model)
 
 
 def montecarlo_engine(case: VerificationCase) -> ModelEngine:
@@ -442,6 +480,26 @@ def register_builtin_engines(replace: bool = False) -> None:
             cost_hint=f"O(2^m) states; applies while m <= {MAX_COMPONENTS}",
             cost_rank=1,
             builder=enumeration_engine,
+            backend="reference",
+        ),
+        EngineSpec(
+            name="enum-compiled",
+            kind=KIND_MODEL,
+            description="Exhaustive enumeration through the compiled "
+                        "backend layer: numba JIT union-find kernel when "
+                        "installed, dependency-free vectorized collapse-DFS "
+                        f"otherwise; exact up to {MAX_COMPONENTS_COMPILED} "
+                        "free components",
+            capabilities=frozenset(
+                {"exact", "bounded-states", "compiled"}
+                | ({"jit"} if _compiled.jit_available() else set())
+            ),
+            cost_hint=f"O(2^m) states, ~100x the reference kernel; "
+                      f"applies while m <= {MAX_COMPONENTS_COMPILED}",
+            cost_rank=1,
+            builder=enum_compiled_engine,
+            backend="numba-jit" if _compiled.jit_available()
+                    else "numpy-vectorized",
         ),
         EngineSpec(
             name="monte-carlo",

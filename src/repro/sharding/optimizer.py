@@ -160,10 +160,15 @@ def _group_density(
     if engine == "enumeration":
         from repro.analytic.enumeration import enumerate_density_matrix
 
+        # Pinned to the reference backend: these densities feed golden
+        # corpus entries and the bitwise sharded|multidb-reference pair,
+        # so they must not move with whatever REPRO_ENUM_BACKEND (or a
+        # numba install) makes the ambient default resolve to.
         return enumerate_density_matrix(
             revoted,
             np.full(topology.n_sites, p),
             np.full(topology.n_links, r),
+            backend="reference",
         )
     if engine == "monte-carlo":
         from repro.analytic.montecarlo import montecarlo_density_matrix

@@ -5,7 +5,8 @@
 
 1. **Cross-engine pairs** — for each case, every pair of applicable
    engines is compared metric-by-metric with CI-aware tolerances. The
-   model-producing engines (closed form, enumeration, plain Monte-Carlo,
+   model-producing engines (closed form, reference-order enumeration,
+   the compiled/vectorized ``enum-compiled`` backend, plain Monte-Carlo,
    and the variance-reduced ``mc-stratified``/``mc-importance``
    variants) are resolved through the :mod:`repro.engines` registry and
    crossed all-pairs; on top of that ride closed-form vs simulation (ACC
@@ -44,10 +45,19 @@ __all__ = ["MODEL_ENGINES", "ENGINE_PAIRS", "VerificationReport",
 MODEL_ENGINES = (
     "closed-form",
     "enumeration",
+    "enum-compiled",
     "monte-carlo",
     "mc-stratified",
     "mc-importance",
 )
+
+#: Tighter absolute floors for specific exact-vs-exact pairs. The
+#: compiled/vectorized enumeration backends must agree with the
+#: reference-order enumeration engine to ≤1e-12 (DESIGN.md §15) — far
+#: below the default exact floor the statistical engines share.
+_PAIR_FLOORS = {
+    frozenset({"enumeration", "enum-compiled"}): 1e-12,
+}
 
 #: Engine-pair identifiers the runner can emit (the acceptance gate
 #: counts distinct pairs actually exercised): all model-engine pairs
@@ -152,10 +162,17 @@ def _model_pair_checks(
     names = [e.name for e in engines]
     for i, a in enumerate(names):
         for b in names[i + 1:]:
+            floor = _PAIR_FLOORS.get(frozenset({a, b}))
+            kwargs = {} if floor is None else {
+                "abs_floor": floor,
+                "detail": "compiled-backend differential tier "
+                          f"(abs_floor={floor:g})",
+            }
             for metric in estimates[a]:
                 results.append(
                     compare(f"{a}|{b}", case.name, metric,
-                            estimates[a][metric], estimates[b][metric])
+                            estimates[a][metric], estimates[b][metric],
+                            **kwargs)
                 )
     return results
 

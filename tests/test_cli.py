@@ -365,7 +365,7 @@ class TestVerify:
         code, out, _ = run_cli(capsys, "verify", "--profile", "quick")
         assert code == 0
         assert "0 failed" in out
-        assert "engine pairs (15)" in out
+        assert "engine pairs (20)" in out
 
     @pytest.mark.slow
     def test_real_injected_off_by_one_exits_one(self, capsys):
@@ -384,8 +384,9 @@ class TestEngines:
     def test_lists_all_builtin_engines(self, capsys):
         code, out, _ = run_cli(capsys, "engines")
         assert code == 0
-        assert "registered engines (10)" in out
-        for name in ("closed-form", "enumeration", "monte-carlo",
+        assert "registered engines (11)" in out
+        for name in ("closed-form", "enumeration", "enum-compiled",
+                     "monte-carlo",
                      "mc-stratified", "mc-importance", "simulation",
                      "parallel", "sharded", "sharded-reference",
                      "online-density"):
@@ -394,7 +395,7 @@ class TestEngines:
     def test_kind_filter(self, capsys):
         code, out, _ = run_cli(capsys, "engines", "--kind", "model")
         assert code == 0
-        assert "registered engines (5)" in out
+        assert "registered engines (6)" in out
         assert "simulation" not in out.splitlines()[0]
         assert "online-density" not in out
 

@@ -49,7 +49,7 @@ class TestQuickProfile:
         assert len(quick_report.engine_pairs) >= 4
         assert set(quick_report.engine_pairs) <= set(ENGINE_PAIRS)
 
-    def test_all_fifteen_pairs_exercised(self, quick_report):
+    def test_all_twenty_pairs_exercised(self, quick_report):
         assert quick_report.engine_pairs == ENGINE_PAIRS
 
     def test_at_least_four_metamorphic_relations(self, quick_report):
@@ -67,7 +67,7 @@ class TestQuickProfile:
 
     def test_summary_reports_coverage_and_drift(self, quick_report):
         text = quick_report.summary()
-        assert "engine pairs (15)" in text
+        assert "engine pairs (20)" in text
         assert "metamorphic relations (8)" in text
         assert "highest drift" in text
         assert "0 failed" in text
